@@ -1,0 +1,254 @@
+//! Regenerate the paper's figures as text tables.
+//!
+//! ```text
+//! cargo run -p cpufree-bench --release --bin figures            # everything
+//! cargo run -p cpufree-bench --release --bin figures -- fig6_1  # one figure
+//! ```
+
+use cpufree_bench::*;
+
+fn print_points(rows: &[Point]) {
+    println!(
+        "{:<24} {:>5} {:>14} {:>14} {:>14} {:>14} {:>9}",
+        "variant", "gpus", "per-iter", "comm", "sync", "exposed-comm", "overlap%"
+    );
+    for p in rows {
+        println!(
+            "{:<24} {:>5} {:>14} {:>14} {:>14} {:>14} {:>8.1}%",
+            p.series,
+            p.gpus,
+            format!("{}", p.per_iter),
+            format!("{}", p.comm),
+            format!("{}", p.sync),
+            format!("{}", p.exposed_comm),
+            p.overlap * 100.0
+        );
+    }
+}
+
+fn print_speedups(rows: &[Point], ours: &str, baselines: &[&str]) {
+    println!("\nspeedups of `{ours}` at each GPU count (paper formula):");
+    let gpus: Vec<usize> = {
+        let mut g: Vec<usize> = rows.iter().map(|p| p.gpus).collect();
+        g.sort_unstable();
+        g.dedup();
+        g
+    };
+    for g in gpus {
+        let our = rows
+            .iter()
+            .find(|p| p.gpus == g && p.series == ours)
+            .expect("missing our series");
+        let mut parts = Vec::new();
+        for b in baselines {
+            if let Some(base) = rows.iter().find(|p| p.gpus == g && p.series == *b) {
+                parts.push(format!(
+                    "{:.1}% vs {}",
+                    speedup_pct(base.per_iter, our.per_iter),
+                    b
+                ));
+            }
+        }
+        println!("  {g} GPUs: {}", parts.join(", "));
+    }
+}
+
+fn fig2_1() {
+    println!("== Fig 2.1b — activity timeline, CPU-controlled vs CPU-Free ==");
+    println!("{}", fig2_1_timeline(4, 100));
+}
+
+fn fig2_2() {
+    println!("== Fig 2.2a — pure communication+synchronization overhead (no compute) ==");
+    let rows = fig2_2a();
+    print_points(&rows);
+    print_speedups(&rows, "CPU-Free", &["Baseline Copy Overlap"]);
+
+    println!("\n== Fig 2.2b — communication overlap ratio and total time (small domain) ==");
+    let rows = fig2_2b();
+    print_points(&rows);
+    for p in rows.iter().filter(|p| p.gpus == 8) {
+        let comm_frac = (p.comm + p.sync).as_nanos() as f64 / p.total.as_nanos() as f64 * 100.0
+            / GPU_COUNTS.len() as f64
+            * GPU_COUNTS.len() as f64;
+        println!(
+            "  {}: comm+sync = {:.0}% of execution, {:.0}% overlapped",
+            p.series,
+            comm_frac.min(100.0 * p.gpus as f64),
+            p.overlap * 100.0
+        );
+    }
+}
+
+fn fig5_1() {
+    println!("== Fig 5.1b — DaCe MPI Jacobi 2D communication profile ==");
+    println!("{}", fig5_1_timeline(4));
+}
+
+fn fig6_1_print() {
+    println!("== Fig 6.1 — 2D Jacobi weak scaling (per-iteration time) ==");
+    for (label, rows) in fig6_1() {
+        println!("\n-- domain {label} --");
+        print_points(&rows);
+        print_speedups(
+            &rows,
+            "CPU-Free",
+            &["Baseline NVSHMEM", "Baseline Copy Overlap"],
+        );
+        if label.starts_with("large") {
+            print_speedups(
+                &rows,
+                "CPU-Free (PERKS)",
+                &["Baseline NVSHMEM", "CPU-Free"],
+            );
+        }
+    }
+}
+
+fn fig6_2_print() {
+    println!("== Fig 6.2 — 3D Jacobi weak + strong scaling ==");
+    for (label, rows) in fig6_2() {
+        println!("\n-- {label} --");
+        print_points(&rows);
+        print_speedups(&rows, "CPU-Free", &["Baseline NVSHMEM", "Baseline Copy Overlap"]);
+    }
+}
+
+fn print_dace(rows: &[DacePoint]) {
+    println!(
+        "{:>5} {:>14} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "gpus", "base total", "base comm", "free total", "free comm", "improve%", "comm-impr%"
+    );
+    for p in rows {
+        println!(
+            "{:>5} {:>14} {:>14} {:>14} {:>14} {:>11.1}% {:>11.1}%",
+            p.gpus,
+            format!("{}", p.baseline_total),
+            format!("{}", p.baseline_comm),
+            format!("{}", p.cpufree_total),
+            format!("{}", p.cpufree_comm),
+            p.improvement_pct,
+            p.comm_improvement_pct
+        );
+    }
+}
+
+fn fig6_3_print() {
+    println!("== Fig 6.3a — DaCe Jacobi 1D: MPI baseline vs CPU-Free ==");
+    print_dace(&fig6_3a());
+    println!("\n== Fig 6.3b — DaCe Jacobi 2D: MPI baseline vs CPU-Free ==");
+    print_dace(&fig6_3b());
+}
+
+fn ablations() {
+    println!("== Ablation — §4.1.2 proportional TB split vs fixed split (flat 3D domain) ==");
+    print_points(&ablation_tb_split());
+    println!("\n== Ablation — single persistent kernel vs dual co-resident kernels ==");
+    print_points(&ablation_dual_kernel());
+    println!("\n== Ablation — §5.3.2 put granularity: single-thread vs block-cooperative ==");
+    println!("{:<26} {:>14} {:>14} {:>9}", "workload", "thread", "block", "gain");
+    for (label, thread, block) in ablation_put_granularity() {
+        println!(
+            "{:<26} {:>14} {:>14} {:>8.1}%",
+            label,
+            format!("{}", thread),
+            format!("{}", block),
+            speedup_pct(thread, block)
+        );
+    }
+}
+
+fn sensitivity() {
+    println!("== Sensitivity — NVLink vs PCIe-only interconnect (small 2D, 8 GPUs) ==");
+    print_points(&sensitivity_interconnect());
+    println!("(the CPU-Free advantage persists on slow links: it is a control-path effect)");
+}
+
+fn grid2d() {
+    println!("== Extension — handwritten 2D grid decomposition (strided E/W iput) ==");
+    println!("{:>5} {:>14} {:>14} {:>9}", "gpus", "baseline", "cpu-free", "speedup");
+    for (n, base, free, s) in grid2d_comparison() {
+        println!(
+            "{:>5} {:>14} {:>14} {:>8.1}%",
+            n,
+            format!("{}", base),
+            format!("{}", free),
+            s
+        );
+    }
+}
+
+fn breakdown() {
+    println!("== Overhead anatomy — small 2D domain, 8 GPUs, no compute (per iteration) ==");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "variant", "per-iter", "launch", "api", "sync", "comm"
+    );
+    for r in overhead_breakdown() {
+        println!(
+            "{:<24} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            r.series,
+            format!("{}", r.per_iter),
+            format!("{}", r.launch),
+            format!("{}", r.api),
+            format!("{}", r.sync),
+            format!("{}", r.comm),
+        );
+    }
+    println!("(launch/api are raw sums over all ranks; sync/comm are trace-union times)");
+}
+
+fn cg() {
+    println!("== Extension — distributed Conjugate Gradient (CPU-Free vs CPU-controlled) ==");
+    print_dace(&cg_comparison());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+    if want("fig2_1") {
+        fig2_1();
+        println!();
+    }
+    if want("fig2_2") || want("fig2_2a") || want("fig2_2b") {
+        fig2_2();
+        println!();
+    }
+    if want("fig5_1") {
+        fig5_1();
+        println!();
+    }
+    if want("fig6_1") {
+        fig6_1_print();
+        println!();
+    }
+    if want("fig6_2") {
+        fig6_2_print();
+        println!();
+    }
+    if want("fig6_3") || want("fig6_3a") || want("fig6_3b") {
+        fig6_3_print();
+        println!();
+    }
+    if want("ablations") {
+        ablations();
+        println!();
+    }
+    if want("cg") {
+        cg();
+        println!();
+    }
+    if want("breakdown") {
+        breakdown();
+        println!();
+    }
+    if want("sensitivity") {
+        sensitivity();
+        println!();
+    }
+    if want("grid2d") {
+        grid2d();
+        println!();
+    }
+}

@@ -1,0 +1,648 @@
+//! # cpufree-bench — the paper's evaluation, regenerated
+//!
+//! One experiment function per figure of the paper. Each returns structured
+//! rows that the `figures` binary prints as tables (and EXPERIMENTS.md
+//! records against the paper's reported values). Criterion benches in
+//! `benches/` wrap the same functions.
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Fig 2.1b (Nsight timeline, CPU-controlled) | [`fig2_1_timeline`] |
+//! | Fig 2.2a (pure comm+sync overhead) | [`fig2_2a`] |
+//! | Fig 2.2b (overlap ratio + total time) | [`fig2_2b`] |
+//! | Fig 5.1b (DaCe MPI timeline) | [`fig5_1_timeline`] |
+//! | Fig 6.1 (2D weak scaling, 3 domain sizes) | [`fig6_1`] |
+//! | Fig 6.2 (3D weak / no-compute / strong) | [`fig6_2`] |
+//! | Fig 6.3a (DaCe Jacobi 1D) | [`fig6_3a`] |
+//! | Fig 6.3b (DaCe Jacobi 2D) | [`fig6_3b`] |
+
+#![warn(missing_docs)]
+
+use dace_sim::lower::{run_discrete, run_persistent};
+use dace_sim::programs::{Jacobi1dSetup, Jacobi2dSetup};
+use dace_sim::transform::{gpu_transform, to_cpu_free};
+use gpu_sim::ExecMode;
+use sim_des::SimDur;
+use stencil_lab::{StencilConfig, Variant};
+
+/// GPU counts swept in every scaling figure.
+pub const GPU_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Iterations per measured run (deterministic simulator: no repetitions
+/// needed; the paper reports the minimum of 5 runs on real hardware).
+pub const ITERS: u64 = 50;
+
+/// One measured data point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Series label (variant name).
+    pub series: String,
+    /// GPU count.
+    pub gpus: usize,
+    /// Per-iteration execution time.
+    pub per_iter: SimDur,
+    /// Union time of communication transfers.
+    pub comm: SimDur,
+    /// Union time of synchronization waits.
+    pub sync: SimDur,
+    /// Communication+synchronization time NOT hidden by compute.
+    pub exposed_comm: SimDur,
+    /// Fraction of comm+sync hidden under compute (0..1).
+    pub overlap: f64,
+    /// End-to-end time of the run.
+    pub total: SimDur,
+}
+
+fn point(series: &str, gpus: usize, ex: &stencil_lab::Executed) -> Point {
+    Point {
+        series: series.to_string(),
+        gpus,
+        per_iter: ex.stats.per_iter,
+        comm: ex.stats.comm_busy,
+        sync: ex.stats.sync_busy,
+        exposed_comm: ex.stats.exposed_comm,
+        overlap: ex.stats.comm_overlap_ratio,
+        total: ex.total,
+    }
+}
+
+/// Weak-scaling 2D config: the slab axis grows with the GPU count so the
+/// per-GPU load stays constant (the paper alternates axes; slab-axis growth
+/// is the equivalent for a 1D decomposition).
+pub fn weak2d(base: usize, gpus: usize, iters: u64) -> StencilConfig {
+    let interior = base - 2;
+    StencilConfig {
+        nx: base,
+        ny: interior * gpus + 2,
+        nz: 1,
+        iterations: iters,
+        n_gpus: gpus,
+        exec: ExecMode::TimingOnly,
+        no_compute: false,
+        threads_per_block: 1024,
+        cost: None,
+    }
+}
+
+/// Weak-scaling 3D config (z grows with GPUs).
+pub fn weak3d(nx: usize, ny: usize, base_z: usize, gpus: usize, iters: u64) -> StencilConfig {
+    let interior = base_z - 2;
+    StencilConfig {
+        nx,
+        ny,
+        nz: interior * gpus + 2,
+        iterations: iters,
+        n_gpus: gpus,
+        exec: ExecMode::TimingOnly,
+        no_compute: false,
+        threads_per_block: 1024,
+        cost: None,
+    }
+}
+
+/// Strong-scaling 3D config (constant global domain).
+pub fn strong3d(nx: usize, ny: usize, nz: usize, gpus: usize, iters: u64) -> StencilConfig {
+    StencilConfig {
+        nx,
+        ny,
+        nz,
+        iterations: iters,
+        n_gpus: gpus,
+        exec: ExecMode::TimingOnly,
+        no_compute: false,
+        threads_per_block: 1024,
+        cost: None,
+    }
+}
+
+/// Fig 2.1b: render the CPU-controlled overlap stencil's activity timeline
+/// (the simulator's stand-in for the Nsight screenshot), next to the
+/// CPU-Free timeline for contrast.
+pub fn fig2_1_timeline(gpus: usize, width: usize) -> String {
+    let cfg = weak2d(256, gpus, 4);
+    let base = Variant::BaselineOverlap.run(&cfg);
+    let free = Variant::CpuFree.run(&cfg);
+    format!(
+        "=== Baseline Copy Overlap, {gpus} GPUs, 256^2/GPU, 4 iterations (total {}) ===\n{}\n\
+         === CPU-Free, same workload (total {}) ===\n{}",
+        base.total,
+        base.trace.render_timeline(width),
+        free.total,
+        free.trace.render_timeline(width),
+    )
+}
+
+/// Fig 5.1b analog: the DaCe MPI Jacobi 2D communication profile (stream
+/// syncs + staging copies dominating; little overlap) vs the CPU-Free
+/// lowering of the same program.
+pub fn fig5_1_timeline(gpus: usize) -> String {
+    let setup = Jacobi2dSetup::new(256, 256, 3, gpus);
+    let mut base = setup.sdfg.clone();
+    gpu_transform(&mut base);
+    let b = run_discrete(
+        &base,
+        gpus,
+        &setup.user_bindings(),
+        setup.tsteps,
+        ExecMode::TimingOnly,
+        &|pe, a| setup.init_local(pe, a),
+    )
+    .expect("fig5.1 baseline");
+    let mut free = setup.sdfg.clone();
+    to_cpu_free(&mut free).expect("fig5.1 transform");
+    let c = run_persistent(
+        &free,
+        gpus,
+        &setup.user_bindings(),
+        setup.tsteps,
+        ExecMode::TimingOnly,
+        &|pe, a| setup.init_local(pe, a),
+    )
+    .expect("fig5.1 cpufree");
+    format!(
+        "DaCe Jacobi 2D, {gpus} GPUs, 3 time steps, 256^2/rank\n\
+         MPI baseline : total {:>12}, comm {:>12}, sync {:>12}, overlap {:>5.1}%\n\
+         CPU-Free     : total {:>12}, comm {:>12}, sync {:>12}, overlap {:>5.1}%",
+        format!("{}", b.total),
+        format!("{}", b.stats.comm_busy),
+        format!("{}", b.stats.sync_busy),
+        b.stats.comm_overlap_ratio * 100.0,
+        format!("{}", c.total),
+        format!("{}", c.stats.comm_busy),
+        format!("{}", c.stats.sync_busy),
+        c.stats.comm_overlap_ratio * 100.0,
+    )
+}
+
+/// Fig 2.2a: communication and synchronization overheads with **no
+/// computation**, per iteration, CPU-controlled overlap baseline vs
+/// CPU-Free, across GPU counts.
+pub fn fig2_2a() -> Vec<Point> {
+    let mut rows = Vec::new();
+    for &g in &GPU_COUNTS {
+        let cfg = weak2d(256, g, ITERS).without_compute();
+        for v in [Variant::BaselineOverlap, Variant::CpuFree] {
+            let ex = v.run(&cfg);
+            rows.push(point(v.label(), g, &ex));
+        }
+    }
+    rows
+}
+
+/// Fig 2.2b: communication overlap ratio % and total execution time in the
+/// small domain, with compute enabled.
+pub fn fig2_2b() -> Vec<Point> {
+    let mut rows = Vec::new();
+    for &g in &GPU_COUNTS {
+        let cfg = weak2d(256, g, ITERS);
+        for v in [Variant::BaselineOverlap, Variant::CpuFree] {
+            let ex = v.run(&cfg);
+            rows.push(point(v.label(), g, &ex));
+        }
+    }
+    rows
+}
+
+/// Fig 6.1: weak scaling of the 2D Jacobi stencil, small (256²), medium
+/// (2048²) and large (8192²) per-GPU domains, all paper variants (+ PERKS
+/// on the large domain).
+pub fn fig6_1() -> Vec<(String, Vec<Point>)> {
+    let mut out = Vec::new();
+    for (label, base) in [
+        ("small 256^2", 256usize),
+        ("medium 2048^2", 2048),
+        ("large 8192^2", 8192),
+    ] {
+        let mut rows = Vec::new();
+        for &g in &GPU_COUNTS {
+            let cfg = weak2d(base, g, ITERS);
+            for v in Variant::paper_set() {
+                let ex = v.run(&cfg);
+                rows.push(point(v.label(), g, &ex));
+            }
+            if base == 8192 {
+                let ex = Variant::CpuFreePerks.run(&cfg);
+                rows.push(point(Variant::CpuFreePerks.label(), g, &ex));
+            }
+        }
+        out.push((label.to_string(), rows));
+    }
+    out
+}
+
+/// Fig 6.2: 3D Jacobi — weak scaling (256³/GPU), the same without compute,
+/// and strong scaling on a constant 512³ domain (with its own no-compute
+/// series showing the synchronization overheads).
+pub fn fig6_2() -> Vec<(String, Vec<Point>)> {
+    let mut out = Vec::new();
+
+    let mut weak = Vec::new();
+    for &g in &GPU_COUNTS {
+        let cfg = weak3d(256, 256, 256, g, ITERS);
+        for v in Variant::paper_set() {
+            let ex = v.run(&cfg);
+            weak.push(point(v.label(), g, &ex));
+        }
+    }
+    out.push(("weak scaling 256^3/GPU".to_string(), weak));
+
+    let mut nocompute = Vec::new();
+    for &g in &GPU_COUNTS {
+        let cfg = weak3d(256, 256, 256, g, ITERS).without_compute();
+        for v in Variant::paper_set() {
+            let ex = v.run(&cfg);
+            nocompute.push(point(v.label(), g, &ex));
+        }
+    }
+    out.push(("weak scaling, no compute".to_string(), nocompute));
+
+    let mut strong = Vec::new();
+    for &g in &GPU_COUNTS {
+        let cfg = strong3d(512, 512, 514, g, ITERS);
+        for v in Variant::paper_set() {
+            let ex = v.run(&cfg);
+            strong.push(point(v.label(), g, &ex));
+        }
+    }
+    out.push(("strong scaling 512^3 total".to_string(), strong));
+
+    let mut strong_nc = Vec::new();
+    for &g in &GPU_COUNTS {
+        let cfg = strong3d(512, 512, 514, g, ITERS).without_compute();
+        for v in Variant::paper_set() {
+            let ex = v.run(&cfg);
+            strong_nc.push(point(v.label(), g, &ex));
+        }
+    }
+    out.push(("strong scaling, no compute".to_string(), strong_nc));
+    out
+}
+
+/// One DaCe comparison data point.
+#[derive(Debug, Clone)]
+pub struct DacePoint {
+    /// GPU count.
+    pub gpus: usize,
+    /// Baseline (MPI, discrete) total time.
+    pub baseline_total: SimDur,
+    /// Baseline communication+sync busy time.
+    pub baseline_comm: SimDur,
+    /// CPU-Free total time.
+    pub cpufree_total: SimDur,
+    /// CPU-Free communication+sync busy time.
+    pub cpufree_comm: SimDur,
+    /// Total-time improvement % (paper's speedup formula).
+    pub improvement_pct: f64,
+    /// Communication latency improvement %.
+    pub comm_improvement_pct: f64,
+}
+
+fn dace_point(gpus: usize, b: &dace_sim::Lowered, c: &dace_sim::Lowered) -> DacePoint {
+    let imp = |base: SimDur, ours: SimDur| {
+        if base.as_nanos() == 0 {
+            0.0
+        } else {
+            (base.as_nanos() as f64 - ours.as_nanos() as f64) / base.as_nanos() as f64 * 100.0
+        }
+    };
+    let bc = b.stats.comm_busy + b.stats.sync_busy;
+    let cc = c.stats.comm_busy + c.stats.sync_busy;
+    DacePoint {
+        gpus,
+        baseline_total: b.total,
+        baseline_comm: bc,
+        cpufree_total: c.total,
+        cpufree_comm: cc,
+        improvement_pct: imp(b.total, c.total),
+        comm_improvement_pct: imp(bc, cc),
+    }
+}
+
+/// Fig 6.3a: DaCe Jacobi 1D — discrete MPI baseline vs generated CPU-Free,
+/// weak scaling (per-GPU chunk constant, device-saturating).
+pub fn fig6_3a() -> Vec<DacePoint> {
+    let chunk = 8 << 20; // ~8M elements per GPU: saturates the device
+    let tsteps = 10u64;
+    let mut rows = Vec::new();
+    for &g in &GPU_COUNTS {
+        let setup = Jacobi1dSetup::new(chunk, tsteps, g);
+        let mut base = setup.sdfg.clone();
+        gpu_transform(&mut base);
+        let b = run_discrete(
+            &base,
+            g,
+            &setup.user_bindings(),
+            tsteps,
+            ExecMode::TimingOnly,
+            &|pe, a| setup.init_local(pe, a),
+        )
+        .expect("fig6.3a baseline");
+        let mut free = setup.sdfg.clone();
+        to_cpu_free(&mut free).expect("fig6.3a transform");
+        let c = run_persistent(
+            &free,
+            g,
+            &setup.user_bindings(),
+            tsteps,
+            ExecMode::TimingOnly,
+            &|pe, a| setup.init_local(pe, a),
+        )
+        .expect("fig6.3a cpufree");
+        rows.push(dace_point(g, &b, &c));
+    }
+    rows
+}
+
+/// Fig 6.3b: DaCe Jacobi 2D — four neighbors, strided east/west columns.
+pub fn fig6_3b() -> Vec<DacePoint> {
+    let (rows_per_pe, cols_per_pe) = (1400, 1400);
+    let tsteps = 10u64;
+    let mut out = Vec::new();
+    for &g in &GPU_COUNTS {
+        let setup = Jacobi2dSetup::new(rows_per_pe, cols_per_pe, tsteps, g);
+        let mut base = setup.sdfg.clone();
+        gpu_transform(&mut base);
+        let b = run_discrete(
+            &base,
+            g,
+            &setup.user_bindings(),
+            tsteps,
+            ExecMode::TimingOnly,
+            &|pe, a| setup.init_local(pe, a),
+        )
+        .expect("fig6.3b baseline");
+        let mut free = setup.sdfg.clone();
+        to_cpu_free(&mut free).expect("fig6.3b transform");
+        let c = run_persistent(
+            &free,
+            g,
+            &setup.user_bindings(),
+            tsteps,
+            ExecMode::TimingOnly,
+            &|pe, a| setup.init_local(pe, a),
+        )
+        .expect("fig6.3b cpufree");
+        out.push(dace_point(g, &b, &c));
+    }
+    out
+}
+
+/// Ablation: §4.1.2 proportional TB allocation vs the naive fixed split,
+/// on an unbalanced 3D domain (the case the paper says needs it).
+pub fn ablation_tb_split() -> Vec<Point> {
+    let mut rows = Vec::new();
+    for &g in &GPU_COUNTS[1..] {
+        // Flat, wide 3D domain: big boundary planes, few layers per GPU.
+        let cfg = weak3d(1024, 1024, 18, g, ITERS);
+        for v in [Variant::CpuFree, Variant::CpuFreeFixedSplit] {
+            let ex = v.run(&cfg);
+            rows.push(point(v.label(), g, &ex));
+        }
+    }
+    rows
+}
+
+/// Ablation: single-kernel vs dual co-resident kernel design (§4).
+pub fn ablation_dual_kernel() -> Vec<Point> {
+    let mut rows = Vec::new();
+    for &g in &GPU_COUNTS {
+        let cfg = weak2d(2048, g, ITERS);
+        for v in [Variant::CpuFree, Variant::CpuFreeDual] {
+            let ex = v.run(&cfg);
+            rows.push(point(v.label(), g, &ex));
+        }
+    }
+    rows
+}
+
+/// Ablation (§5.3.2): transfer granularity of contiguous puts —
+/// single-thread `putmem_signal_nbi` vs block-cooperative
+/// `putmem_signal_block`.
+///
+/// Two regimes: (a) the DaCe Jacobi 2D rows (11 KB, latency-dominated —
+/// the paper's configuration, where granularity is irrelevant) and (b) a
+/// bandwidth-bound 3D-style plane ping-pong (2 MB per message, where the
+/// cooperative transfer's higher effective bandwidth shows).
+pub fn ablation_put_granularity() -> Vec<(String, SimDur, SimDur)> {
+    use cpufree_core::launch_cpu_free;
+    use dace_sim::transform::{
+        gpu_persistent_kernel, mpi_to_nvshmem_with, nvshmem_array, PutGranularity,
+    };
+    use gpu_sim::{BlockGroup, CostModel, Machine};
+    use nvshmem_sim::{ShmemCtx, ShmemWorld};
+    use sim_des::{Cmp, SignalOp};
+
+    let mut rows = Vec::new();
+
+    // (a) DaCe Jacobi 2D at 4 GPUs.
+    let setup = Jacobi2dSetup::new(1400, 1400, 10, 4);
+    let run_dace = |gran: PutGranularity| {
+        let mut sdfg = setup.sdfg.clone();
+        gpu_transform(&mut sdfg);
+        mpi_to_nvshmem_with(&mut sdfg, gran).unwrap();
+        nvshmem_array(&mut sdfg);
+        gpu_persistent_kernel(&mut sdfg).unwrap();
+        run_persistent(
+            &sdfg,
+            4,
+            &setup.user_bindings(),
+            10,
+            ExecMode::TimingOnly,
+            &|pe, a| setup.init_local(pe, a),
+        )
+        .unwrap()
+        .total
+    };
+    rows.push((
+        "dace 2D rows (11 KB)".to_string(),
+        run_dace(PutGranularity::SingleThread),
+        run_dace(PutGranularity::Block),
+    ));
+
+    // (b) bandwidth-bound plane ping-pong: 512x512 f64 plane, 2 PEs.
+    let plane = 512 * 512usize;
+    let pingpong = |block: bool| -> SimDur {
+        let machine = Machine::new(2, CostModel::a100_hgx(), ExecMode::TimingOnly);
+        let world = ShmemWorld::init(&machine);
+        let halo = world.malloc("plane", plane);
+        let sig = world.signal(0);
+        let end = launch_cpu_free(&machine, "pingpong", 1024, move |pe| {
+            let world = world.clone();
+            let halo = halo.clone();
+            let sig = sig.clone();
+            vec![BlockGroup::new("g", 1, move |k| {
+                let mut sh = ShmemCtx::new(&world, k);
+                let other = 1 - pe;
+                for t in 1..=20u64 {
+                    let src = halo.local(pe).clone();
+                    if block {
+                        sh.putmem_signal_block(
+                            k, &halo, 0, &src, 0, plane, &sig, SignalOp::Set, t, other,
+                        );
+                    } else {
+                        sh.putmem_signal_nbi(
+                            k, &halo, 0, &src, 0, plane, &sig, SignalOp::Set, t, other,
+                        );
+                    }
+                    sh.signal_wait_until(k, &sig, Cmp::Ge, t);
+                }
+            })]
+        })
+        .unwrap();
+        end.since(sim_des::SimTime::ZERO)
+    };
+    rows.push((
+        "plane ping-pong (2 MB)".to_string(),
+        pingpong(false),
+        pingpong(true),
+    ));
+    rows
+}
+
+/// Extension experiment: distributed Conjugate Gradient (2 allreduces + 1
+/// halo exchange per iteration) — CPU-Free vs CPU-controlled.
+pub fn cg_comparison() -> Vec<DacePoint> {
+    use cpufree_solvers::{run_baseline as cg_base, run_cpu_free as cg_free, PoissonProblem};
+    let mut rows = Vec::new();
+    for &g in &GPU_COUNTS {
+        let prob = PoissonProblem::new(1026, 128 * g + 2, ITERS, g);
+        let b = cg_base(&prob, ExecMode::TimingOnly);
+        let c = cg_free(&prob, ExecMode::TimingOnly);
+        let imp = |base: SimDur, ours: SimDur| {
+            (base.as_nanos() as f64 - ours.as_nanos() as f64) / base.as_nanos() as f64 * 100.0
+        };
+        let bc = b.stats.comm_busy + b.stats.sync_busy;
+        let cc = c.stats.comm_busy + c.stats.sync_busy;
+        rows.push(DacePoint {
+            gpus: g,
+            baseline_total: b.total,
+            baseline_comm: bc,
+            cpufree_total: c.total,
+            cpufree_comm: cc,
+            improvement_pct: imp(b.total, c.total),
+            comm_improvement_pct: imp(bc, cc),
+        });
+    }
+    rows
+}
+
+/// Interconnect sensitivity: the same small-domain comparison on the
+/// default NVLink node and on a PCIe-only node. Shows which part of the
+/// CPU-Free advantage comes from the control path (survives slow links)
+/// and which from fast device-initiated transfers.
+pub fn sensitivity_interconnect() -> Vec<Point> {
+    use gpu_sim::CostModel;
+    let mut rows = Vec::new();
+    for (label, cost) in [
+        ("nvlink", CostModel::a100_hgx()),
+        ("pcie-only", CostModel::pcie_only()),
+    ] {
+        for v in [Variant::BaselineNvshmem, Variant::CpuFree] {
+            let cfg = weak2d(256, 8, ITERS).with_cost(cost.clone());
+            let ex = v.run(&cfg);
+            rows.push(point(&format!("{} [{label}]", v.label()), 8, &ex));
+        }
+    }
+    rows
+}
+
+/// Extension: the handwritten 2D **grid**-decomposed stencil (four
+/// neighbors, strided east/west `iput`) — CPU-Free vs discrete baseline.
+pub fn grid2d_comparison() -> Vec<(usize, SimDur, SimDur, f64)> {
+    use stencil_lab::{run_grid2d_baseline, run_grid2d_cpu_free, Grid2DConfig};
+    let mut rows = Vec::new();
+    for (pgrid, n) in [((1usize, 2usize), 2usize), ((2, 2), 4), ((2, 4), 8)] {
+        let cfg = Grid2DConfig::new(512, 512, pgrid, ITERS).timing_only();
+        let free = run_grid2d_cpu_free(&cfg);
+        let base = run_grid2d_baseline(&cfg);
+        rows.push((
+            n,
+            base.total,
+            free.total,
+            speedup_pct(base.total, free.total),
+        ));
+    }
+    rows
+}
+
+/// One row of the per-variant overhead breakdown.
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Variant label.
+    pub series: String,
+    /// Per-iteration total time.
+    pub per_iter: SimDur,
+    /// Kernel-launch latency per iteration (host + device start).
+    pub launch: SimDur,
+    /// Host API overhead per iteration.
+    pub api: SimDur,
+    /// Synchronization busy time per iteration (per device on average).
+    pub sync: SimDur,
+    /// Communication busy time per iteration (per device on average).
+    pub comm: SimDur,
+}
+
+/// Where each variant's time goes on the communication-bound small domain
+/// (8 GPUs, no compute) — the anatomy behind Fig 2.2a.
+pub fn overhead_breakdown() -> Vec<BreakdownRow> {
+    let cfg = weak2d(256, 8, ITERS).without_compute();
+    let mut rows = Vec::new();
+    let mut variants = Variant::paper_set().to_vec();
+    variants.push(Variant::CpuFreeDual);
+    for v in variants {
+        let ex = v.run(&cfg);
+        let per = |d: SimDur| d / ITERS;
+        rows.push(BreakdownRow {
+            series: v.label().to_string(),
+            per_iter: ex.stats.per_iter,
+            launch: per(ex.stats.launch_total),
+            api: per(ex.stats.api_total),
+            sync: per(ex.stats.sync_busy),
+            comm: per(ex.stats.comm_busy),
+        });
+    }
+    rows
+}
+
+/// The paper's speedup formula, in percent.
+pub fn speedup_pct(baseline: SimDur, ours: SimDur) -> f64 {
+    cpufree_core::RunStats::speedup_pct(baseline, ours)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak2d_scales_slab_axis() {
+        let c1 = weak2d(256, 1, 10);
+        let c8 = weak2d(256, 8, 10);
+        assert_eq!(c1.ny, 256);
+        assert_eq!(c8.ny, 254 * 8 + 2);
+        assert_eq!(c8.nx, 256);
+    }
+
+    #[test]
+    fn fig2_2a_cpu_free_dominates() {
+        let rows = fig2_2a();
+        for g in GPU_COUNTS {
+            if g == 1 {
+                continue;
+            }
+            let base = rows
+                .iter()
+                .find(|p| p.gpus == g && p.series.contains("Overlap"))
+                .unwrap();
+            let free = rows
+                .iter()
+                .find(|p| p.gpus == g && p.series.contains("CPU-Free"))
+                .unwrap();
+            assert!(
+                free.per_iter.as_nanos() * 3 < base.per_iter.as_nanos(),
+                "at {g} GPUs: {} vs {}",
+                free.per_iter,
+                base.per_iter
+            );
+        }
+    }
+}

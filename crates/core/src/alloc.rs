@@ -1,0 +1,143 @@
+//! Thread-block specialization and work allocation (§3.1.3, §4.1.2).
+//!
+//! A persistent kernel has no streams; concurrency comes from specializing
+//! thread blocks. The paper's allocation formula splits the device's
+//! co-resident blocks proportionally to the boundary vs. inner workload:
+//!
+//! ```text
+//! boundary_TB_num = TB_total * boundary_size / (inner_size + 2*boundary_size)
+//! inner_TB_num    = TB_total - 2 * boundary_TB_num
+//! ```
+//!
+//! Proportional splitting matters for small and unbalanced 3D domains, which
+//! are otherwise bound by boundary computation + communication time.
+
+/// How a persistent kernel's thread blocks are split between the two
+/// boundary (communication) groups and the inner-domain group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbAllocation {
+    /// Blocks reserved for EACH of the two boundary/communication groups.
+    pub boundary_tbs: u64,
+    /// Blocks computing the inner domain.
+    pub inner_tbs: u64,
+    /// Total co-resident blocks (== `2 * boundary_tbs + inner_tbs`).
+    pub total: u64,
+}
+
+impl TbAllocation {
+    /// Apply the paper's §4.1.2 formula.
+    ///
+    /// `total` is the number of co-resident thread blocks available for the
+    /// chosen block size; `inner_size` and `boundary_size` are workload
+    /// element counts (the boundary counted once — there are two symmetric
+    /// boundary regions).
+    ///
+    /// Every group is guaranteed at least one block, so degenerate domains
+    /// still make progress; requires `total >= 3`.
+    pub fn proportional(total: u64, inner_size: u64, boundary_size: u64) -> TbAllocation {
+        assert!(
+            total >= 3,
+            "need at least 3 co-resident blocks (2 comm + 1 inner), got {total}"
+        );
+        let denom = inner_size + 2 * boundary_size;
+        let mut boundary = if denom == 0 {
+            1
+        } else {
+            // Round to nearest: flooring starves wide boundary layers (a
+            // single block per 512x512 plane bottlenecks the whole kernel).
+            (total * boundary_size + denom / 2) / denom
+        };
+        boundary = boundary.clamp(1, (total - 1) / 2);
+        TbAllocation {
+            boundary_tbs: boundary,
+            inner_tbs: total - 2 * boundary,
+            total,
+        }
+    }
+
+    /// The naive fixed split the paper's Listing 4.1 sketches: exactly one
+    /// block per boundary group. Used as the ablation baseline against
+    /// [`TbAllocation::proportional`].
+    pub fn fixed_two(total: u64) -> TbAllocation {
+        assert!(total >= 3, "need at least 3 blocks, got {total}");
+        TbAllocation {
+            boundary_tbs: 1,
+            inner_tbs: total - 2,
+            total,
+        }
+    }
+
+    /// Fraction of device resources owned by ONE boundary group.
+    pub fn boundary_fraction(&self) -> f64 {
+        self.boundary_tbs as f64 / self.total as f64
+    }
+
+    /// Fraction of device resources owned by the inner group.
+    pub fn inner_fraction(&self) -> f64 {
+        self.inner_tbs as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_paper() {
+        // TB_total=108, boundary=1 row of 2048, inner=2046 rows of 2048:
+        // boundary_TB = 108 * 2048 / (2046*2048 + 2*2048) = 108/2048... tiny -> 1.
+        let a = TbAllocation::proportional(108, 2046 * 2048, 2048);
+        assert_eq!(a.boundary_tbs, 1);
+        assert_eq!(a.inner_tbs, 106);
+    }
+
+    #[test]
+    fn balanced_small_domain_gets_more_boundary_blocks() {
+        // Inner comparable to boundary: split approaches a third each.
+        let a = TbAllocation::proportional(108, 1000, 1000);
+        assert!(a.boundary_tbs >= 30, "{a:?}");
+        assert_eq!(a.total, 2 * a.boundary_tbs + a.inner_tbs);
+    }
+
+    #[test]
+    fn conservation_and_minimums_hold() {
+        for total in [3u64, 4, 7, 108, 216] {
+            for inner in [0u64, 1, 100, 1 << 20] {
+                for boundary in [0u64, 1, 50, 1 << 16] {
+                    let a = TbAllocation::proportional(total, inner, boundary);
+                    assert_eq!(a.total, total);
+                    assert_eq!(a.inner_tbs + 2 * a.boundary_tbs, total);
+                    assert!(a.boundary_tbs >= 1);
+                    assert!(a.inner_tbs >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_workload_degenerates_gracefully() {
+        let a = TbAllocation::proportional(10, 0, 0);
+        assert_eq!(a.boundary_tbs, 1);
+        assert_eq!(a.inner_tbs, 8);
+    }
+
+    #[test]
+    fn fixed_two_is_one_block_per_boundary() {
+        let a = TbAllocation::fixed_two(108);
+        assert_eq!(a.boundary_tbs, 1);
+        assert_eq!(a.inner_tbs, 106);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let a = TbAllocation::proportional(108, 500, 500);
+        let sum = 2.0 * a.boundary_fraction() + a.inner_fraction();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_blocks_rejected() {
+        TbAllocation::proportional(2, 10, 10);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cpufree-core — the CPU-Free multi-GPU execution model
+//!
+//! The paper's primary contribution as a reusable library. The model removes
+//! the CPU from the control path of multi-GPU applications by combining:
+//!
+//! 1. **Persistent kernels** — the time loop lives on the device; the host
+//!    launches exactly once ([`launch_cpu_free`], [`persistent_loop`]);
+//! 2. **Device-side synchronization** — cooperative-groups `grid.sync()`
+//!    within a device, NVSHMEM flag semaphores between devices (§4.1.1;
+//!    see `nvshmem_sim::ShmemCtx::signal_wait_until`);
+//! 3. **Thread-block specialization** — communication vs. computation block
+//!    groups with the §4.1.2 proportional work allocation
+//!    ([`TbAllocation`]);
+//! 4. **GPU-initiated data movement** — halo exchange issued from inside
+//!    the kernel (`nvshmem_sim::ShmemCtx::putmem_signal_nbi`).
+//!
+//! The "alternative design" of two co-resident kernels in separate streams
+//! is provided by [`launch_cpu_free_dual`] with [`LocalRendezvous`].
+//! [`RunStats`] measures what the paper's figures report — per-iteration
+//! time, exposed communication, overlap ratio — from the simulation trace.
+
+#![warn(missing_docs)]
+
+mod alloc;
+mod launch;
+mod stats;
+
+pub use alloc::TbAllocation;
+pub use launch::{launch_cpu_free, launch_cpu_free_dual, persistent_loop, LocalRendezvous};
+pub use stats::RunStats;

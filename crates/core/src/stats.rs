@@ -1,0 +1,144 @@
+//! Run statistics extracted from simulation traces.
+//!
+//! The paper's evaluation reports per-iteration execution time, pure
+//! communication/synchronization overheads (Fig 2.2a) and the communication
+//! overlap ratio (Fig 2.2b). All of those are *measurements over the span
+//! trace*, computed here.
+
+use sim_des::{Category, SimDur, Trace};
+
+/// Aggregated measurements of one application run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// End-to-end virtual execution time.
+    pub total: SimDur,
+    /// `total / iterations`.
+    pub per_iter: SimDur,
+    /// Union length of communication activity (transfers).
+    pub comm_busy: SimDur,
+    /// Union length of synchronization waits (stream syncs, signal waits,
+    /// barriers, grid syncs).
+    pub sync_busy: SimDur,
+    /// Union length of compute activity.
+    pub compute_busy: SimDur,
+    /// Raw sum of kernel-launch latency spans.
+    pub launch_total: SimDur,
+    /// Raw sum of host API overhead spans.
+    pub api_total: SimDur,
+    /// Fraction of communication+synchronization busy time that coexists
+    /// with compute — the paper's "overlapped" portion.
+    pub comm_overlap_ratio: f64,
+    /// Communication + synchronization busy time not hidden by compute.
+    pub exposed_comm: SimDur,
+}
+
+impl RunStats {
+    /// Compute statistics from a trace and the run's end-to-end time.
+    pub fn from_trace(trace: &Trace, total: SimDur, iterations: u64) -> RunStats {
+        let comm_busy = trace.busy(Category::Comm);
+        let sync_busy = trace.busy(Category::Sync);
+        let compute_busy = trace.busy(Category::Compute);
+        // "Communication" in the paper's overlap discussion = everything on
+        // the communication path: transfers plus the waits that serialize
+        // them. Merge both categories' intervals by measuring them jointly.
+        let comm_like = trace.filter(|s| {
+            matches!(s.category, Category::Comm | Category::Sync)
+        });
+        // Re-tag to one category so `busy` unions across both.
+        let mut joint = sim_des::Trace::new();
+        for s in comm_like.spans() {
+            let mut s = s.clone();
+            s.category = Category::Comm;
+            joint.push(s);
+        }
+        let comm_sync_busy = joint.busy(Category::Comm);
+        for s in trace.spans() {
+            if s.category == Category::Compute {
+                joint.push(s.clone());
+            }
+        }
+        let overlapped = joint.overlap(Category::Comm, Category::Compute);
+        let ratio = if comm_sync_busy.as_nanos() == 0 {
+            0.0
+        } else {
+            overlapped.as_nanos() as f64 / comm_sync_busy.as_nanos() as f64
+        };
+        RunStats {
+            total,
+            per_iter: if iterations == 0 {
+                SimDur::ZERO
+            } else {
+                total / iterations
+            },
+            comm_busy,
+            sync_busy,
+            compute_busy,
+            launch_total: trace.total(Category::Launch),
+            api_total: trace.total(Category::Api),
+            comm_overlap_ratio: ratio,
+            exposed_comm: comm_sync_busy.saturating_sub(overlapped),
+        }
+    }
+
+    /// The paper's speedup formula: `(T_baseline - T_ours) / T_baseline`,
+    /// in percent.
+    pub fn speedup_pct(baseline: SimDur, ours: SimDur) -> f64 {
+        if baseline.as_nanos() == 0 {
+            return 0.0;
+        }
+        (baseline.as_nanos() as f64 - ours.as_nanos() as f64) / baseline.as_nanos() as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_des::{us, AgentId, SimTime, TraceSpan};
+
+    fn span(cat: Category, a: f64, b: f64) -> TraceSpan {
+        TraceSpan {
+            agent: AgentId(0),
+            agent_name: "t".into(),
+            start: SimTime::ZERO + us(a),
+            end: SimTime::ZERO + us(b),
+            category: cat,
+            label: String::new(),
+        }
+    }
+
+    #[test]
+    fn overlap_ratio_counts_sync_as_comm_path() {
+        let mut t = Trace::new();
+        t.push(span(Category::Comm, 0.0, 10.0));
+        t.push(span(Category::Sync, 10.0, 20.0));
+        t.push(span(Category::Compute, 5.0, 15.0));
+        let s = RunStats::from_trace(&t, us(20.0), 1);
+        // comm+sync busy = 20 µs, overlapped with compute = 10 µs.
+        assert!((s.comm_overlap_ratio - 0.5).abs() < 1e-9, "{s:?}");
+        assert_eq!(s.exposed_comm, us(10.0));
+    }
+
+    #[test]
+    fn per_iter_divides_total() {
+        let t = Trace::new();
+        let s = RunStats::from_trace(&t, us(100.0), 10);
+        assert_eq!(s.per_iter, us(10.0));
+        let s0 = RunStats::from_trace(&t, us(100.0), 0);
+        assert_eq!(s0.per_iter, SimDur::ZERO);
+    }
+
+    #[test]
+    fn speedup_formula_matches_paper() {
+        assert!((RunStats::speedup_pct(us(100.0), us(4.0)) - 96.0).abs() < 1e-9);
+        assert!((RunStats::speedup_pct(us(100.0), us(100.0))).abs() < 1e-9);
+        assert_eq!(RunStats::speedup_pct(SimDur::ZERO, us(1.0)), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_ratio() {
+        let t = Trace::new();
+        let s = RunStats::from_trace(&t, us(1.0), 1);
+        assert_eq!(s.comm_overlap_ratio, 0.0);
+        assert_eq!(s.comm_busy, SimDur::ZERO);
+    }
+}

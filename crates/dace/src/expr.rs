@@ -1,0 +1,199 @@
+//! Symbolic integer expressions — the `N`, `rank*pc + 1`, `TSTEPS` values
+//! that parameterize SDFG maps, subsets and guards, resolved per PE at
+//! lowering time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbolic integer expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Literal.
+    Const(i64),
+    /// Symbol reference (`"rank"`, `"N"`, ...).
+    Sym(String),
+    /// `lhs + rhs`.
+    Add(Box<Expr>, Box<Expr>),
+    /// `lhs - rhs`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// `lhs * rhs`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Euclidean-ish integer division (`lhs / rhs`, truncating).
+    Div(Box<Expr>, Box<Expr>),
+    /// Remainder (`lhs % rhs`).
+    Rem(Box<Expr>, Box<Expr>),
+}
+
+/// Symbol table used to evaluate expressions.
+pub type Bindings = BTreeMap<String, i64>;
+
+impl Expr {
+    /// Literal constructor.
+    pub fn c(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Symbol constructor.
+    pub fn s(name: &str) -> Expr {
+        Expr::Sym(name.to_string())
+    }
+
+    /// Evaluate with the given bindings. Panics on unbound symbols — an
+    /// unbound symbol at lowering time is a program bug worth failing loud.
+    pub fn eval(&self, b: &Bindings) -> i64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Sym(name) => *b
+                .get(name)
+                .unwrap_or_else(|| panic!("unbound symbol `{name}`")),
+            Expr::Add(l, r) => l.eval(b) + r.eval(b),
+            Expr::Sub(l, r) => l.eval(b) - r.eval(b),
+            Expr::Mul(l, r) => l.eval(b) * r.eval(b),
+            Expr::Div(l, r) => l.eval(b) / r.eval(b),
+            Expr::Rem(l, r) => l.eval(b) % r.eval(b),
+        }
+    }
+
+    /// `self + rhs` (builder).
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs` (builder).
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs` (builder).
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs` (builder).
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self % rhs` (builder).
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Rem(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Sym(s) => write!(f, "{s}"),
+            Expr::Add(l, r) => write!(f, "({l} + {r})"),
+            Expr::Sub(l, r) => write!(f, "({l} - {r})"),
+            Expr::Mul(l, r) => write!(f, "({l} * {r})"),
+            Expr::Div(l, r) => write!(f, "({l} / {r})"),
+            Expr::Rem(l, r) => write!(f, "({l} % {r})"),
+        }
+    }
+}
+
+/// Comparison operator in guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A guard condition on an operation (e.g. `rank > 0`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cond {
+    /// Left-hand side.
+    pub lhs: Expr,
+    /// Operator.
+    pub op: CondOp,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+impl Cond {
+    /// Build `lhs <op> rhs`.
+    pub fn new(lhs: Expr, op: CondOp, rhs: Expr) -> Cond {
+        Cond { lhs, op, rhs }
+    }
+
+    /// Evaluate under bindings.
+    pub fn eval(&self, b: &Bindings) -> bool {
+        let (l, r) = (self.lhs.eval(b), self.rhs.eval(b));
+        match self.op {
+            CondOp::Eq => l == r,
+            CondOp::Ne => l != r,
+            CondOp::Lt => l < r,
+            CondOp::Le => l <= r,
+            CondOp::Gt => l > r,
+            CondOp::Ge => l >= r,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            CondOp::Eq => "==",
+            CondOp::Ne => "!=",
+            CondOp::Lt => "<",
+            CondOp::Le => "<=",
+            CondOp::Gt => ">",
+            CondOp::Ge => ">=",
+        };
+        write!(f, "{} {} {}", self.lhs, op, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(pairs: &[(&str, i64)]) -> Bindings {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_evaluates() {
+        let e = Expr::s("rank").mul(Expr::c(4)).add(Expr::c(1));
+        assert_eq!(e.eval(&b(&[("rank", 3)])), 13);
+        let d = Expr::s("rank").div(Expr::c(2)).rem(Expr::c(3));
+        assert_eq!(d.eval(&b(&[("rank", 7)])), 0);
+        assert_eq!(Expr::c(10).sub(Expr::c(4)).eval(&b(&[])), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound symbol")]
+    fn unbound_symbol_panics() {
+        Expr::s("nope").eval(&b(&[]));
+    }
+
+    #[test]
+    fn conditions_evaluate() {
+        let c = Cond::new(Expr::s("rank"), CondOp::Gt, Expr::c(0));
+        assert!(!c.eval(&b(&[("rank", 0)])));
+        assert!(c.eval(&b(&[("rank", 1)])));
+        let c2 = Cond::new(Expr::s("rank"), CondOp::Lt, Expr::s("size").sub(Expr::c(1)));
+        assert!(c2.eval(&b(&[("rank", 2), ("size", 4)])));
+        assert!(!c2.eval(&b(&[("rank", 3), ("size", 4)])));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::s("rank").mul(Expr::c(4));
+        assert_eq!(format!("{e}"), "(rank * 4)");
+        let c = Cond::new(Expr::s("rank"), CondOp::Ge, Expr::c(1));
+        assert_eq!(format!("{c}"), "rank >= 1");
+    }
+}

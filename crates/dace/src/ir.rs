@@ -1,0 +1,610 @@
+//! The SDFG-style intermediate representation.
+//!
+//! A deliberately compact rendering of DaCe's Stateful Dataflow multiGraph:
+//! **states** hold topologically-ordered dataflow operations (data-parallel
+//! *maps* applying *tasklets*, array-to-array *copies*, and *library nodes*
+//! for MPI / NVSHMEM communication); a structured control-flow tree
+//! sequences states and **loops** (the iterative solvers' time loop, which
+//! the `GPUPersistentKernel` transformation turns device-resident).
+//! Programs are SPMD: every PE executes the same SDFG under its own symbol
+//! bindings (`rank`, derived symbols like `prow`/`pcol`).
+
+use crate::expr::{Bindings, Cond, Expr};
+use std::fmt;
+
+/// Where an array lives — the paper adds `GPU_NVSHMEM` for symmetric-heap
+/// storage (§5.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Storage {
+    /// Host memory (pre-GPUTransform).
+    CpuHeap,
+    /// Ordinary device global memory.
+    Gpu,
+    /// NVSHMEM symmetric heap (PGAS-addressable).
+    GpuNvshmem,
+}
+
+/// An array declaration (per-PE local array; shapes are symbolic).
+#[derive(Debug, Clone)]
+pub struct ArrayDecl {
+    /// Array name.
+    pub name: String,
+    /// Per-dimension extents.
+    pub shape: Vec<Expr>,
+    /// Storage class.
+    pub storage: Storage,
+}
+
+/// One dimension of a subset: `start .. start+count` (step 1).
+#[derive(Debug, Clone)]
+pub struct DimRange {
+    /// First index.
+    pub start: Expr,
+    /// Number of indices.
+    pub count: Expr,
+}
+
+impl DimRange {
+    /// A single index.
+    pub fn idx(start: Expr) -> DimRange {
+        DimRange {
+            start,
+            count: Expr::c(1),
+        }
+    }
+
+    /// A contiguous range.
+    pub fn range(start: Expr, count: Expr) -> DimRange {
+        DimRange { start, count }
+    }
+}
+
+/// A (possibly strided) reference to part of an array — what memlets carry.
+#[derive(Debug, Clone)]
+pub struct DataRef {
+    /// Referenced array.
+    pub array: String,
+    /// Per-dimension subset (must match the array's rank).
+    pub subset: Vec<DimRange>,
+}
+
+/// A `DataRef` resolved to flat element coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolved {
+    /// Flat offset of the first element.
+    pub offset: usize,
+    /// Number of elements.
+    pub count: usize,
+    /// Flat stride between consecutive elements.
+    pub stride: usize,
+}
+
+impl DataRef {
+    /// Build a reference.
+    pub fn new(array: &str, subset: Vec<DimRange>) -> DataRef {
+        DataRef {
+            array: array.to_string(),
+            subset,
+        }
+    }
+
+    /// Structural contiguity check (§5.3.1's compile-time shape check):
+    /// true when the only dimension allowed to vary is the innermost one.
+    /// Conservative — a `Const(1)` count is "not varying".
+    pub fn is_structurally_contiguous(&self) -> bool {
+        let last = self.subset.len() - 1;
+        self.subset
+            .iter()
+            .enumerate()
+            .all(|(i, d)| i == last || d.count == Expr::c(1))
+    }
+
+    /// Resolve to flat `(offset, count, stride)` under bindings, given the
+    /// array's resolved shape. At most one dimension may have `count > 1`.
+    pub fn resolve(&self, shape: &[i64], b: &Bindings) -> Resolved {
+        assert_eq!(
+            self.subset.len(),
+            shape.len(),
+            "subset rank mismatch on `{}`",
+            self.array
+        );
+        // Row-major strides.
+        let mut strides = vec![1i64; shape.len()];
+        for i in (0..shape.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * shape[i + 1];
+        }
+        let mut offset = 0i64;
+        let mut varying: Option<(i64, i64)> = None; // (count, stride)
+        for (i, d) in self.subset.iter().enumerate() {
+            let start = d.start.eval(b);
+            let count = d.count.eval(b);
+            assert!(
+                start >= 0 && start + count <= shape[i],
+                "subset out of bounds on `{}` dim {i}: {start}+{count} > {}",
+                self.array,
+                shape[i]
+            );
+            offset += start * strides[i];
+            if count > 1 {
+                assert!(
+                    varying.is_none(),
+                    "multi-dimensional subsets not supported on `{}`",
+                    self.array
+                );
+                varying = Some((count, strides[i]));
+            }
+        }
+        let (count, stride) = varying.unwrap_or((1, 1));
+        Resolved {
+            offset: offset as usize,
+            count: count as usize,
+            stride: stride as usize,
+        }
+    }
+}
+
+/// Map schedule, following DaCe's schedule types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// CPU loop (pre-GPUTransform).
+    Sequential,
+    /// Discrete GPU kernel.
+    GpuDevice,
+    /// Inside a persistent GPU kernel (post-GPUPersistentKernel).
+    GpuPersistent,
+}
+
+/// The computation a map applies — DaCe tasklets are opaque code; here they
+/// are drawn from the workloads the paper evaluates.
+#[derive(Debug, Clone)]
+pub enum TaskletKind {
+    /// `dst[i] = (src[i-1] + src[i] + src[i+1]) / 3` over map var `i`.
+    Jacobi1d {
+        /// Source array.
+        src: String,
+        /// Destination array.
+        dst: String,
+    },
+    /// `dst[i,j] = 0.2*(src[i,j] + src[i±1,j] + src[i,j±1])` over `(i,j)`.
+    Jacobi2d {
+        /// Source array.
+        src: String,
+        /// Destination array.
+        dst: String,
+    },
+}
+
+/// A data-parallel map node (entry/exit pair + tasklet, collapsed).
+#[derive(Debug, Clone)]
+pub struct MapOp {
+    /// Name (for traces).
+    pub name: String,
+    /// Where the map runs.
+    pub schedule: Schedule,
+    /// Iteration variables with inclusive ranges.
+    pub range: Vec<(String, Expr, Expr)>,
+    /// The computation applied at each point.
+    pub tasklet: TaskletKind,
+}
+
+impl MapOp {
+    /// Number of points under bindings.
+    pub fn volume(&self, b: &Bindings) -> u64 {
+        self.range
+            .iter()
+            .map(|(_, lo, hi)| (hi.eval(b) - lo.eval(b) + 1).max(0) as u64)
+            .product()
+    }
+}
+
+/// Communication library nodes (§5.2–5.3).
+#[derive(Debug, Clone)]
+pub enum LibNode {
+    /// `dace.comm.Isend(buf, dest, tag)` — MPI library node.
+    MpiIsend {
+        /// Data to send.
+        buf: DataRef,
+        /// Destination rank.
+        dest: Expr,
+        /// Message tag (also the channel id).
+        tag: u32,
+    },
+    /// `dace.comm.Irecv(buf, src, tag)`.
+    MpiIrecv {
+        /// Where received data lands.
+        buf: DataRef,
+        /// Source rank.
+        src: Expr,
+        /// Message tag.
+        tag: u32,
+    },
+    /// `dace.comm.Waitall(req)` — completes the state's outstanding
+    /// requests.
+    MpiWaitall,
+    /// `nvshmem.PutmemSignal(dst, src, sig, val, pe)` — contiguous put with
+    /// completion signal at the destination.
+    PutmemSignal {
+        /// Remote destination subset (evaluated at PE `pe`).
+        dst: DataRef,
+        /// Local source subset.
+        src: DataRef,
+        /// Signal cell id.
+        sig: u32,
+        /// Signal value (usually the loop variable).
+        val: Expr,
+        /// Destination PE.
+        pe: Expr,
+    },
+    /// `nvshmem.SignalWait(sig, val)` — wait until the local signal copy
+    /// reaches `val`.
+    SignalWait {
+        /// Signal cell id.
+        sig: u32,
+        /// Value to wait for (>=).
+        val: Expr,
+    },
+    /// `nvshmemx_putmem_signal_block` — like [`LibNode::PutmemSignal`] but
+    /// issued cooperatively by a whole thread block (§5.3.2).
+    PutmemSignalBlock {
+        /// Remote destination subset (evaluated at PE `pe`).
+        dst: DataRef,
+        /// Local source subset.
+        src: DataRef,
+        /// Signal cell id.
+        sig: u32,
+        /// Signal value (usually the loop variable).
+        val: Expr,
+        /// Destination PE.
+        pe: Expr,
+    },
+    /// Mapped single-element specialization (§5.3.2): the subset is
+    /// transferred as parallel `nvshmem_<T>_p` calls inside a Map.
+    PutMapped {
+        /// Remote destination subset.
+        dst: DataRef,
+        /// Local source subset.
+        src: DataRef,
+        /// Destination PE.
+        pe: Expr,
+    },
+    /// `nvshmem_<T>_iput` — strided put (no combined signal variant).
+    Iput {
+        /// Remote destination subset.
+        dst: DataRef,
+        /// Local source subset.
+        src: DataRef,
+        /// Destination PE.
+        pe: Expr,
+    },
+    /// `nvshmem_<T>_p` — single-element put.
+    PutSingle {
+        /// Remote destination element.
+        dst: DataRef,
+        /// Local source element.
+        src: DataRef,
+        /// Destination PE.
+        pe: Expr,
+    },
+    /// `nvshmemx_signal_op(sig, val, SET, pe)` — manual remote signal.
+    SignalOp {
+        /// Signal cell id.
+        sig: u32,
+        /// Value to set.
+        val: Expr,
+        /// Destination PE.
+        pe: Expr,
+    },
+    /// `nvshmem_quiet()` — complete outstanding non-blocking operations.
+    Quiet,
+}
+
+/// A dataflow operation inside a state.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// A (collapsed) map node.
+    Map(MapOp),
+    /// DaCe's array-to-array copy routine.
+    Copy {
+        /// Destination subset.
+        dst: DataRef,
+        /// Source subset.
+        src: DataRef,
+    },
+    /// A communication library node.
+    Lib(LibNode),
+}
+
+/// An operation with an optional symbolic guard (edge-rank conditionals).
+#[derive(Debug, Clone)]
+pub struct GuardedOp {
+    /// Execute only when the guard holds (or unconditionally when `None`).
+    pub guard: Option<Cond>,
+    /// The operation.
+    pub op: Op,
+}
+
+impl GuardedOp {
+    /// Unguarded op.
+    pub fn new(op: Op) -> GuardedOp {
+        GuardedOp { guard: None, op }
+    }
+
+    /// Guarded op.
+    pub fn when(guard: Cond, op: Op) -> GuardedOp {
+        GuardedOp {
+            guard: Some(guard),
+            op,
+        }
+    }
+
+    /// Does this op execute under the bindings?
+    pub fn active(&self, b: &Bindings) -> bool {
+        self.guard.as_ref().map_or(true, |g| g.eval(b))
+    }
+}
+
+/// A dataflow state: operations in topological (execution) order.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// State name.
+    pub name: String,
+    /// Ordered operations.
+    pub ops: Vec<GuardedOp>,
+}
+
+/// Structured control flow.
+#[derive(Debug, Clone)]
+pub enum Cf {
+    /// A single dataflow state.
+    State(State),
+    /// A counted loop (`for var in start..=end`).
+    Loop {
+        /// Loop variable (bound in the body).
+        var: String,
+        /// First value.
+        start: Expr,
+        /// Last value (inclusive).
+        end: Expr,
+        /// Body.
+        body: Vec<Cf>,
+        /// Set by `GPUPersistentKernel`: the loop lives inside one
+        /// persistent device kernel.
+        persistent: bool,
+    },
+}
+
+/// The top-level program.
+#[derive(Debug, Clone)]
+pub struct Sdfg {
+    /// Program name.
+    pub name: String,
+    /// Free symbols the caller must bind (plus the implicit `rank`/`size`).
+    pub symbols: Vec<String>,
+    /// Derived symbols, evaluated in order after the free ones.
+    pub derived: Vec<(String, Expr)>,
+    /// Array declarations.
+    pub arrays: Vec<ArrayDecl>,
+    /// Control flow.
+    pub body: Vec<Cf>,
+}
+
+impl Sdfg {
+    /// Find an array declaration.
+    pub fn array(&self, name: &str) -> &ArrayDecl {
+        self.arrays
+            .iter()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("unknown array `{name}`"))
+    }
+
+    /// Mutable lookup.
+    pub fn array_mut(&mut self, name: &str) -> &mut ArrayDecl {
+        self.arrays
+            .iter_mut()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("unknown array `{name}`"))
+    }
+
+    /// Build the full bindings for one PE: user symbols, `rank`, `size`,
+    /// then the derived symbols in declaration order.
+    pub fn bindings(&self, rank: usize, size: usize, user: &Bindings) -> Bindings {
+        let mut b = user.clone();
+        b.insert("rank".into(), rank as i64);
+        b.insert("size".into(), size as i64);
+        for (name, expr) in &self.derived {
+            let v = expr.eval(&b);
+            b.insert(name.clone(), v);
+        }
+        for s in &self.symbols {
+            assert!(b.contains_key(s), "symbol `{s}` not bound for `{}`", self.name);
+        }
+        b
+    }
+
+    /// Visit every state mutably (transformation helper).
+    pub fn visit_states_mut(&mut self, f: &mut impl FnMut(&mut State)) {
+        fn walk(cf: &mut Cf, f: &mut impl FnMut(&mut State)) {
+            match cf {
+                Cf::State(s) => f(s),
+                Cf::Loop { body, .. } => {
+                    for c in body {
+                        walk(c, f);
+                    }
+                }
+            }
+        }
+        for c in &mut self.body {
+            walk(c, f);
+        }
+    }
+
+    /// Visit every state immutably.
+    pub fn visit_states(&self, f: &mut impl FnMut(&State)) {
+        fn walk(cf: &Cf, f: &mut impl FnMut(&State)) {
+            match cf {
+                Cf::State(s) => f(s),
+                Cf::Loop { body, .. } => {
+                    for c in body {
+                        walk(c, f);
+                    }
+                }
+            }
+        }
+        for c in &self.body {
+            walk(c, f);
+        }
+    }
+}
+
+impl fmt::Display for Sdfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sdfg {} {{", self.name)?;
+        for a in &self.arrays {
+            let dims: Vec<String> = a.shape.iter().map(|e| e.to_string()).collect();
+            writeln!(f, "  array {}[{}] @{:?}", a.name, dims.join(", "), a.storage)?;
+        }
+        fn walk(cf: &Cf, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            match cf {
+                Cf::State(s) => {
+                    writeln!(f, "{pad}state {} ({} ops)", s.name, s.ops.len())
+                }
+                Cf::Loop {
+                    var,
+                    start,
+                    end,
+                    body,
+                    persistent,
+                } => {
+                    let p = if *persistent { " [persistent]" } else { "" };
+                    writeln!(f, "{pad}for {var} in {start}..={end}{p} {{")?;
+                    for c in body {
+                        walk(c, f, depth + 1)?;
+                    }
+                    writeln!(f, "{pad}}}")
+                }
+            }
+        }
+        for c in &self.body {
+            walk(c, f, 1)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(pairs: &[(&str, i64)]) -> Bindings {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn resolve_contiguous_row() {
+        // A[(rows+2) x (cols+2)], subset A[1, 1..=cols].
+        let r = DataRef::new(
+            "A",
+            vec![
+                DimRange::idx(Expr::c(1)),
+                DimRange::range(Expr::c(1), Expr::s("cols")),
+            ],
+        );
+        let shape = [6, 10]; // rows=4, cols=8
+        let res = r.resolve(&shape, &b(&[("cols", 8)]));
+        assert_eq!(res, Resolved { offset: 11, count: 8, stride: 1 });
+        assert!(r.is_structurally_contiguous());
+    }
+
+    #[test]
+    fn resolve_strided_column() {
+        // A[1..=rows, 0] — a column: stride = row length.
+        let r = DataRef::new(
+            "A",
+            vec![
+                DimRange::range(Expr::c(1), Expr::s("rows")),
+                DimRange::idx(Expr::c(0)),
+            ],
+        );
+        let res = r.resolve(&[6, 10], &b(&[("rows", 4)]));
+        assert_eq!(res, Resolved { offset: 10, count: 4, stride: 10 });
+        assert!(!r.is_structurally_contiguous());
+    }
+
+    #[test]
+    fn resolve_single_element() {
+        let r = DataRef::new("A", vec![DimRange::idx(Expr::s("chunk").add(Expr::c(1)))]);
+        let res = r.resolve(&[18], &b(&[("chunk", 16)]));
+        assert_eq!(res, Resolved { offset: 17, count: 1, stride: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn resolve_checks_bounds() {
+        let r = DataRef::new("A", vec![DimRange::range(Expr::c(0), Expr::c(20))]);
+        r.resolve(&[10], &b(&[]));
+    }
+
+    #[test]
+    fn map_volume() {
+        let m = MapOp {
+            name: "u".into(),
+            schedule: Schedule::Sequential,
+            range: vec![
+                ("i".into(), Expr::c(1), Expr::s("rows")),
+                ("j".into(), Expr::c(1), Expr::s("cols")),
+            ],
+            tasklet: TaskletKind::Jacobi2d {
+                src: "A".into(),
+                dst: "B".into(),
+            },
+        };
+        assert_eq!(m.volume(&b(&[("rows", 4), ("cols", 8)])), 32);
+    }
+
+    #[test]
+    fn bindings_derive_in_order() {
+        let sdfg = Sdfg {
+            name: "t".into(),
+            symbols: vec!["pc".into()],
+            derived: vec![
+                ("prow".into(), Expr::s("rank").div(Expr::s("pc"))),
+                ("pcol".into(), Expr::s("rank").rem(Expr::s("pc"))),
+            ],
+            arrays: vec![],
+            body: vec![],
+        };
+        let bind = sdfg.bindings(5, 8, &b(&[("pc", 2)]));
+        assert_eq!(bind["prow"], 2);
+        assert_eq!(bind["pcol"], 1);
+        assert_eq!(bind["rank"], 5);
+        assert_eq!(bind["size"], 8);
+    }
+
+    #[test]
+    fn display_renders_structure() {
+        let sdfg = Sdfg {
+            name: "demo".into(),
+            symbols: vec![],
+            derived: vec![],
+            arrays: vec![ArrayDecl {
+                name: "A".into(),
+                shape: vec![Expr::s("N")],
+                storage: Storage::CpuHeap,
+            }],
+            body: vec![Cf::Loop {
+                var: "t".into(),
+                start: Expr::c(1),
+                end: Expr::s("T"),
+                body: vec![Cf::State(State {
+                    name: "s".into(),
+                    ops: vec![],
+                })],
+                persistent: false,
+            }],
+        };
+        let text = format!("{sdfg}");
+        assert!(text.contains("for t in 1..=T"));
+        assert!(text.contains("array A[N]"));
+    }
+}

@@ -1,0 +1,182 @@
+//! The GPU-aware MPI substrate the *discrete* lowering targets.
+//!
+//! Models single-node GPU-aware MPI the way the paper's Fig 5.1 observes it
+//! behaving under DaCe: every message goes through a staging buffer on the
+//! destination device (the pipelined D2D copy inside the MPI library),
+//! stream synchronizations bracket the calls, and strided datatypes
+//! (`MPI_Type_vector`) pay a host-side pack/unpack cost. Flow control is a
+//! rendezvous: a sender may not overwrite the staging buffer until the
+//! receiver has consumed the previous message.
+
+use crate::expr::Bindings;
+use crate::ir::{Cf, LibNode, Op, Sdfg};
+use gpu_sim::{Buf, DevId, Machine};
+use sim_des::Flag;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One point-to-point channel `(src, dst, tag)`.
+pub struct Channel {
+    /// Sender PE.
+    pub src: usize,
+    /// Receiver PE.
+    pub dst: usize,
+    /// Message tag.
+    pub tag: u32,
+    /// Elements per message.
+    pub count: usize,
+    /// Landing buffer on the destination device.
+    pub staging: Buf,
+    /// Count of delivered messages (sender signals, receiver waits).
+    pub msg: Flag,
+    /// Count of consumed messages (receiver signals, sender waits).
+    pub ack: Flag,
+}
+
+/// Channel key.
+pub type ChanKey = (usize, usize, u32);
+
+/// All channels of one program instance.
+pub struct MpiSim {
+    channels: BTreeMap<ChanKey, Arc<Channel>>,
+}
+
+impl MpiSim {
+    /// Scan the program and create one channel per active `(src, dst, tag)`
+    /// send. `bindings_of(pe)` supplies each PE's symbol table; subset
+    /// counts are resolved against the (uniform) array shapes.
+    pub fn build(
+        sdfg: &Sdfg,
+        n_pes: usize,
+        machine: &Machine,
+        bindings_of: &dyn Fn(usize) -> Bindings,
+        shape_of: &dyn Fn(&str) -> Vec<i64>,
+    ) -> MpiSim {
+        let mut channels = BTreeMap::new();
+        for pe in 0..n_pes {
+            let b = bindings_of(pe);
+            // Guards never reference the loop variable; scanning the loop
+            // body once per PE enumerates every channel.
+            fn walk(
+                cfs: &[Cf],
+                pe: usize,
+                b: &Bindings,
+                machine: &Machine,
+                shape_of: &dyn Fn(&str) -> Vec<i64>,
+                channels: &mut BTreeMap<ChanKey, Arc<Channel>>,
+            ) {
+                for cf in cfs {
+                    match cf {
+                        Cf::Loop { body, .. } => {
+                            walk(body, pe, b, machine, shape_of, channels)
+                        }
+                        Cf::State(state) => {
+                            for op in &state.ops {
+                                if !op.active(b) {
+                                    continue;
+                                }
+                                if let Op::Lib(LibNode::MpiIsend { buf, dest, tag }) = &op.op {
+                                    let dst = dest.eval(b);
+                                    assert!(
+                                        dst >= 0,
+                                        "negative destination rank on tag {tag}"
+                                    );
+                                    let dst = dst as usize;
+                                    let resolved = buf.resolve(&shape_of(&buf.array), b);
+                                    let key = (pe, dst, *tag);
+                                    channels.entry(key).or_insert_with(|| {
+                                        Arc::new(Channel {
+                                            src: pe,
+                                            dst,
+                                            tag: *tag,
+                                            count: resolved.count,
+                                            staging: machine.alloc(
+                                                DevId(dst),
+                                                format!("mpi.stage.{pe}->{dst}.t{tag}"),
+                                                resolved.count,
+                                            ),
+                                            msg: machine.flag(0),
+                                            ack: machine.flag(0),
+                                        })
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            walk(&sdfg.body, pe, &b, machine, shape_of, &mut channels);
+        }
+        MpiSim { channels }
+    }
+
+    /// Look up a channel; panics with context when the program sends on an
+    /// unregistered route (a matching bug).
+    pub fn channel(&self, src: usize, dst: usize, tag: u32) -> &Arc<Channel> {
+        self.channels.get(&(src, dst, tag)).unwrap_or_else(|| {
+            panic!("no MPI channel {src} -> {dst} tag {tag}")
+        })
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// True when no channels exist.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::Jacobi1dSetup;
+    use gpu_sim::{CostModel, ExecMode};
+
+    #[test]
+    fn jacobi1d_channel_enumeration() {
+        let setup = Jacobi1dSetup::new(8, 2, 4);
+        let machine = Machine::new(4, CostModel::a100_hgx(), ExecMode::Full);
+        let user = setup.user_bindings();
+        let sdfg = setup.sdfg.clone();
+        let shapes = |name: &str| -> Vec<i64> {
+            let b = sdfg.bindings(0, 4, &user);
+            sdfg.array(name).shape.iter().map(|e| e.eval(&b)).collect()
+        };
+        let mpi = MpiSim::build(
+            &setup.sdfg,
+            4,
+            &machine,
+            &|pe| setup.sdfg.bindings(pe, 4, &user),
+            &shapes,
+        );
+        // Interior links: 3 neighbor pairs x 2 directions x 2 arrays.
+        assert_eq!(mpi.len(), 12);
+        let ch = mpi.channel(1, 0, 0);
+        assert_eq!(ch.count, 1);
+        assert_eq!(ch.staging.place().device(), Some(DevId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no MPI channel")]
+    fn unknown_channel_panics() {
+        let setup = Jacobi1dSetup::new(8, 1, 2);
+        let machine = Machine::new(2, CostModel::a100_hgx(), ExecMode::Full);
+        let user = setup.user_bindings();
+        let sdfg = setup.sdfg.clone();
+        let shapes = |name: &str| -> Vec<i64> {
+            let b = sdfg.bindings(0, 2, &user);
+            sdfg.array(name).shape.iter().map(|e| e.eval(&b)).collect()
+        };
+        let mpi = MpiSim::build(
+            &setup.sdfg,
+            2,
+            &machine,
+            &|pe| setup.sdfg.bindings(pe, 2, &user),
+            &shapes,
+        );
+        let _ = mpi.channel(0, 0, 99);
+    }
+}

@@ -1,0 +1,482 @@
+//! SDFG transformations (§5): the passes that turn the distributed-MPI
+//! baseline into CPU-Free code without touching the program's structure.
+
+use crate::expr::Expr;
+use crate::ir::*;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors raised by transformation pattern/legality checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// `GPUPersistentKernel` found an op that cannot run device-side.
+    NotDeviceSchedulable(String),
+    /// `GPUPersistentKernel` found no loop to make persistent.
+    NoLoop,
+    /// `MPIToNVSHMEM` could not match a send with a receive.
+    UnmatchedMessage(u32),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NotDeviceSchedulable(what) => {
+                write!(f, "cannot schedule `{what}` inside a persistent GPU kernel")
+            }
+            TransformError::NoLoop => write!(f, "no time loop found to make persistent"),
+            TransformError::UnmatchedMessage(tag) => {
+                write!(f, "MPI message with tag {tag} has no matching receive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// `GPUTransformSDFG`: schedule every sequential map on the GPU and move
+/// host arrays to device global memory — the paper's "trivially port to
+/// CUDA" step for the Ziogas et al. benchmarks.
+pub fn gpu_transform(sdfg: &mut Sdfg) {
+    for a in &mut sdfg.arrays {
+        if a.storage == Storage::CpuHeap {
+            a.storage = Storage::Gpu;
+        }
+    }
+    sdfg.visit_states_mut(&mut |state| {
+        for op in &mut state.ops {
+            if let Op::Map(m) = &mut op.op {
+                if m.schedule == Schedule::Sequential {
+                    m.schedule = Schedule::GpuDevice;
+                }
+            }
+        }
+    });
+}
+
+/// `MapFusion`: fuse consecutive maps with identical ranges and schedules
+/// within a state into one kernel (saving a launch). Returns the number of
+/// fusions performed.
+///
+/// Legality here is structural: identical iteration spaces, and the second
+/// map's source is not the first map's destination written at shifted
+/// indices — for the stencil tasklets that means *different* dst arrays
+/// feeding forward are NOT fusable (a Jacobi sweep reads neighbors), so
+/// only independent same-space maps fuse.
+pub fn map_fusion(sdfg: &mut Sdfg) -> usize {
+    let mut fused = 0;
+    sdfg.visit_states_mut(&mut |state| {
+        let mut i = 0;
+        while i + 1 < state.ops.len() {
+            let fusable = {
+                let (a, b) = (&state.ops[i], &state.ops[i + 1]);
+                match (&a.op, &b.op, &a.guard, &b.guard) {
+                    (Op::Map(ma), Op::Map(mb), None, None) => {
+                        let same_space = ma.schedule == mb.schedule
+                            && ma.range.len() == mb.range.len()
+                            && ma
+                                .range
+                                .iter()
+                                .zip(&mb.range)
+                                .all(|(ra, rb)| ra.1 == rb.1 && ra.2 == rb.2);
+                        let independent = !matches!(
+                            (&ma.tasklet, &mb.tasklet),
+                            (
+                                TaskletKind::Jacobi1d { dst: d, .. },
+                                TaskletKind::Jacobi1d { src: s, .. }
+                            ) if d == s
+                        ) && !matches!(
+                            (&ma.tasklet, &mb.tasklet),
+                            (
+                                TaskletKind::Jacobi2d { dst: d, .. },
+                                TaskletKind::Jacobi2d { src: s, .. }
+                            ) if d == s
+                        );
+                        same_space && independent
+                    }
+                    _ => false,
+                }
+            };
+            if fusable {
+                // Merge by chaining the second tasklet onto the first map's
+                // kernel: represented as keeping both ops but marking the
+                // second as fused (no separate launch). For this IR we fold
+                // the fusion by renaming — both tasklets execute in one
+                // kernel, so we move op i+1 into a fused marker name.
+                if let Op::Map(mb) = &mut state.ops[i + 1].op {
+                    mb.name = format!("{}.fused", mb.name);
+                }
+                fused += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    });
+    fused
+}
+
+/// `GPUPersistentKernel` (§5.1): fuse the outermost time loop into a single
+/// persistent GPU kernel. Fails when the loop body contains host-only
+/// operations — in particular **MPI library nodes**, which is why
+/// `mpi_to_nvshmem` must run first.
+pub fn gpu_persistent_kernel(sdfg: &mut Sdfg) -> Result<(), TransformError> {
+    let mut found = false;
+    for cf in &mut sdfg.body {
+        if let Cf::Loop {
+            body, persistent, ..
+        } = cf
+        {
+            // Legality: everything inside must be device-schedulable.
+            fn check(body: &[Cf]) -> Result<(), TransformError> {
+                for cf in body {
+                    match cf {
+                        Cf::Loop { body, .. } => check(body)?,
+                        Cf::State(s) => {
+                            for op in &s.ops {
+                                match &op.op {
+                                    Op::Lib(LibNode::MpiIsend { .. })
+                                    | Op::Lib(LibNode::MpiIrecv { .. })
+                                    | Op::Lib(LibNode::MpiWaitall) => {
+                                        return Err(TransformError::NotDeviceSchedulable(
+                                            "MPI library node".into(),
+                                        ))
+                                    }
+                                    Op::Map(m) if m.schedule == Schedule::Sequential => {
+                                        return Err(TransformError::NotDeviceSchedulable(
+                                            format!("sequential map `{}`", m.name),
+                                        ))
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            check(body)?;
+            // Reschedule contained maps and mark the loop persistent.
+            fn reschedule(body: &mut [Cf]) {
+                for cf in body {
+                    match cf {
+                        Cf::Loop { body, .. } => reschedule(body),
+                        Cf::State(s) => {
+                            for op in &mut s.ops {
+                                if let Op::Map(m) = &mut op.op {
+                                    m.schedule = Schedule::GpuPersistent;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            reschedule(body);
+            *persistent = true;
+            found = true;
+        }
+    }
+    if found {
+        Ok(())
+    } else {
+        Err(TransformError::NoLoop)
+    }
+}
+
+/// `NVSHMEMArray` (§5.3.3): set the storage of every array referenced by an
+/// NVSHMEM library node's remote side to `GPU_NVSHMEM`. Returns how many
+/// arrays were retargeted.
+pub fn nvshmem_array(sdfg: &mut Sdfg) -> usize {
+    let mut remote: BTreeSet<String> = BTreeSet::new();
+    sdfg.visit_states(&mut |state| {
+        for op in &state.ops {
+            if let Op::Lib(lib) = &op.op {
+                match lib {
+                    LibNode::PutmemSignal { dst, .. }
+                    | LibNode::PutmemSignalBlock { dst, .. }
+                    | LibNode::PutMapped { dst, .. }
+                    | LibNode::Iput { dst, .. }
+                    | LibNode::PutSingle { dst, .. } => {
+                        remote.insert(dst.array.clone());
+                    }
+                    _ => {}
+                }
+            }
+        }
+    });
+    let mut changed = 0;
+    for name in remote {
+        let a = sdfg.array_mut(&name);
+        if a.storage != Storage::GpuNvshmem {
+            a.storage = Storage::GpuNvshmem;
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Transfer granularity for converted contiguous puts (§5.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PutGranularity {
+    /// Single-thread scheduled `putmem_signal_nbi` (the paper's reported
+    /// configuration).
+    #[default]
+    SingleThread,
+    /// Block-cooperative `putmem_signal_block`.
+    Block,
+}
+
+/// The MPI → NVSHMEM conversion (§5.3, Listing 5.2): within each state,
+/// pair every `Isend(tag)` with the `Irecv(tag)` describing where the data
+/// lands on the destination PE, then
+///
+/// * contiguous sends become `PutmemSignal` (put + completion signal),
+/// * strided sends become `Iput` followed by generated `Quiet` +
+///   `SignalOp` (no combined signaling variant exists, §5.3.1),
+/// * receives become `SignalWait(tag, t)`,
+/// * `Waitall` is dropped in favor of the flag-based synchronization.
+///
+/// `loop_var` is the enclosing time-loop variable used as the signal value.
+pub fn mpi_to_nvshmem(sdfg: &mut Sdfg) -> Result<(), TransformError> {
+    mpi_to_nvshmem_with(sdfg, PutGranularity::SingleThread)
+}
+
+/// [`mpi_to_nvshmem`] with an explicit transfer granularity for contiguous
+/// messages.
+pub fn mpi_to_nvshmem_with(
+    sdfg: &mut Sdfg,
+    granularity: PutGranularity,
+) -> Result<(), TransformError> {
+    // Find the time-loop variable (outermost loop).
+    let loop_var = sdfg
+        .body
+        .iter()
+        .find_map(|cf| match cf {
+            Cf::Loop { var, .. } => Some(var.clone()),
+            _ => None,
+        })
+        .ok_or(TransformError::NoLoop)?;
+    let mut error = None;
+    sdfg.visit_states_mut(&mut |state| {
+        if error.is_some() {
+            return;
+        }
+        let has_mpi = state.ops.iter().any(|op| {
+            matches!(
+                op.op,
+                Op::Lib(LibNode::MpiIsend { .. })
+                    | Op::Lib(LibNode::MpiIrecv { .. })
+                    | Op::Lib(LibNode::MpiWaitall)
+            )
+        });
+        if !has_mpi {
+            return;
+        }
+        // Collect receive subsets by tag (the destination-side landing spot).
+        let mut recv_by_tag: Vec<(u32, DataRef)> = Vec::new();
+        for op in &state.ops {
+            if let Op::Lib(LibNode::MpiIrecv { buf, tag, .. }) = &op.op {
+                recv_by_tag.push((*tag, buf.clone()));
+            }
+        }
+        let mut new_ops = Vec::with_capacity(state.ops.len());
+        for op in state.ops.drain(..) {
+            let guard = op.guard.clone();
+            match op.op {
+                Op::Lib(LibNode::MpiIsend { buf, dest, tag }) => {
+                    let Some((_, recv_buf)) =
+                        recv_by_tag.iter().find(|(t, _)| *t == tag)
+                    else {
+                        error = Some(TransformError::UnmatchedMessage(tag));
+                        return;
+                    };
+                    if buf.is_structurally_contiguous() {
+                        let op = match granularity {
+                            PutGranularity::SingleThread => LibNode::PutmemSignal {
+                                dst: recv_buf.clone(),
+                                src: buf,
+                                sig: tag,
+                                val: Expr::s(&loop_var),
+                                pe: dest,
+                            },
+                            PutGranularity::Block => LibNode::PutmemSignalBlock {
+                                dst: recv_buf.clone(),
+                                src: buf,
+                                sig: tag,
+                                val: Expr::s(&loop_var),
+                                pe: dest,
+                            },
+                        };
+                        new_ops.push(GuardedOp { guard, op: Op::Lib(op) });
+                    } else {
+                        // iput + quiet + manual signal (§5.3.1).
+                        new_ops.push(GuardedOp {
+                            guard: guard.clone(),
+                            op: Op::Lib(LibNode::Iput {
+                                dst: recv_buf.clone(),
+                                src: buf,
+                                pe: dest.clone(),
+                            }),
+                        });
+                        new_ops.push(GuardedOp {
+                            guard: guard.clone(),
+                            op: Op::Lib(LibNode::Quiet),
+                        });
+                        new_ops.push(GuardedOp {
+                            guard,
+                            op: Op::Lib(LibNode::SignalOp {
+                                sig: tag,
+                                val: Expr::s(&loop_var),
+                                pe: dest,
+                            }),
+                        });
+                    }
+                }
+                Op::Lib(LibNode::MpiIrecv { tag, .. }) => {
+                    new_ops.push(GuardedOp {
+                        guard,
+                        op: Op::Lib(LibNode::SignalWait {
+                            sig: tag,
+                            val: Expr::s(&loop_var),
+                        }),
+                    });
+                }
+                Op::Lib(LibNode::MpiWaitall) => { /* dropped */ }
+                other => new_ops.push(GuardedOp { guard, op: other }),
+            }
+        }
+        state.ops = new_ops;
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Convenience pipeline: the full baseline → CPU-Free conversion the paper
+/// applies (GPUTransform → MPIToNVSHMEM → NVSHMEMArray →
+/// GPUPersistentKernel).
+pub fn to_cpu_free(sdfg: &mut Sdfg) -> Result<(), TransformError> {
+    gpu_transform(sdfg);
+    mpi_to_nvshmem(sdfg)?;
+    nvshmem_array(sdfg);
+    gpu_persistent_kernel(sdfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{Jacobi1dSetup, Jacobi2dSetup};
+
+    #[test]
+    fn gpu_transform_moves_maps_and_arrays() {
+        let mut s = Jacobi1dSetup::new(8, 1, 2).sdfg;
+        gpu_transform(&mut s);
+        assert!(s.arrays.iter().all(|a| a.storage == Storage::Gpu));
+        s.visit_states(&mut |st| {
+            for op in &st.ops {
+                if let Op::Map(m) = &op.op {
+                    assert_eq!(m.schedule, Schedule::GpuDevice);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn persistent_rejects_mpi_nodes() {
+        let mut s = Jacobi1dSetup::new(8, 1, 2).sdfg;
+        gpu_transform(&mut s);
+        let err = gpu_persistent_kernel(&mut s).unwrap_err();
+        assert!(matches!(err, TransformError::NotDeviceSchedulable(_)));
+    }
+
+    #[test]
+    fn persistent_rejects_sequential_maps() {
+        let mut s = Jacobi1dSetup::new(8, 1, 2).sdfg;
+        mpi_to_nvshmem(&mut s).unwrap();
+        let err = gpu_persistent_kernel(&mut s).unwrap_err();
+        assert!(matches!(err, TransformError::NotDeviceSchedulable(_)));
+    }
+
+    #[test]
+    fn conversion_replaces_all_mpi_nodes() {
+        let mut s = Jacobi1dSetup::new(8, 1, 2).sdfg;
+        gpu_transform(&mut s);
+        mpi_to_nvshmem(&mut s).unwrap();
+        let mut mpi = 0;
+        let mut puts = 0;
+        let mut waits = 0;
+        s.visit_states(&mut |st| {
+            for op in &st.ops {
+                match &op.op {
+                    Op::Lib(LibNode::MpiIsend { .. })
+                    | Op::Lib(LibNode::MpiIrecv { .. })
+                    | Op::Lib(LibNode::MpiWaitall) => mpi += 1,
+                    Op::Lib(LibNode::PutmemSignal { .. }) => puts += 1,
+                    Op::Lib(LibNode::SignalWait { .. }) => waits += 1,
+                    _ => {}
+                }
+            }
+        });
+        assert_eq!(mpi, 0);
+        assert_eq!(puts, 4, "2 sends per exchange x 2 exchanges");
+        assert_eq!(waits, 4);
+    }
+
+    #[test]
+    fn strided_sends_become_iput_quiet_signal() {
+        let mut s = Jacobi2dSetup::new(4, 4, 1, 4).sdfg;
+        gpu_transform(&mut s);
+        mpi_to_nvshmem(&mut s).unwrap();
+        let (mut iputs, mut quiets, mut sigs, mut puts) = (0, 0, 0, 0);
+        s.visit_states(&mut |st| {
+            for op in &st.ops {
+                match &op.op {
+                    Op::Lib(LibNode::Iput { .. }) => iputs += 1,
+                    Op::Lib(LibNode::Quiet) => quiets += 1,
+                    Op::Lib(LibNode::SignalOp { .. }) => sigs += 1,
+                    Op::Lib(LibNode::PutmemSignal { .. }) => puts += 1,
+                    _ => {}
+                }
+            }
+        });
+        assert_eq!(iputs, 4, "east+west per exchange x 2");
+        assert_eq!(quiets, 4);
+        assert_eq!(sigs, 4);
+        assert_eq!(puts, 4, "north+south per exchange x 2");
+    }
+
+    #[test]
+    fn nvshmem_array_marks_remote_targets() {
+        let mut s = Jacobi1dSetup::new(8, 1, 2).sdfg;
+        gpu_transform(&mut s);
+        mpi_to_nvshmem(&mut s).unwrap();
+        let changed = nvshmem_array(&mut s);
+        assert_eq!(changed, 2, "A and B are both remote-written");
+        assert_eq!(s.array("A").storage, Storage::GpuNvshmem);
+    }
+
+    #[test]
+    fn full_pipeline_marks_loop_persistent() {
+        let mut s = Jacobi2dSetup::new(4, 4, 2, 4).sdfg;
+        to_cpu_free(&mut s).unwrap();
+        let Cf::Loop { persistent, .. } = &s.body[0] else {
+            panic!("expected loop")
+        };
+        assert!(*persistent);
+        s.visit_states(&mut |st| {
+            for op in &st.ops {
+                if let Op::Map(m) = &op.op {
+                    assert_eq!(m.schedule, Schedule::GpuPersistent);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn map_fusion_requires_independence() {
+        // Jacobi's B=f(A); A=f(B) chains are NOT fusable (dst feeds src).
+        let mut s = Jacobi1dSetup::new(8, 1, 2).sdfg;
+        let fused = map_fusion(&mut s);
+        assert_eq!(fused, 0, "dependent sweeps must not fuse");
+    }
+}

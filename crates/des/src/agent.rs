@@ -1,0 +1,199 @@
+//! The agent-side API: what simulated code is written against.
+
+use crate::engine::{spawn_agent, Request, Shared, ShutdownUnwind, Turn};
+use crate::sync::{Barrier, Cmp, Flag, SignalOp};
+use crate::time::{SimDur, SimTime};
+use crate::trace::{Category, TraceSpan};
+use parking_lot::Condvar;
+use std::panic::resume_unwind;
+use std::sync::Arc;
+
+/// Identifies an agent within one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(pub usize);
+
+/// Handle through which an agent interacts with virtual time and its peers.
+///
+/// Methods that *block* (`advance`, `wait_flag`, `barrier`, `yield_now`) hand
+/// the execution token back to the scheduler; everything else is immediate
+/// and charges no virtual time.
+pub struct AgentCtx {
+    shared: Arc<Shared>,
+    id: AgentId,
+    cv: Arc<Condvar>,
+}
+
+impl AgentCtx {
+    pub(crate) fn new(shared: Arc<Shared>, id: AgentId, cv: Arc<Condvar>) -> Self {
+        AgentCtx { shared, id, cv }
+    }
+
+    /// This agent's id.
+    pub fn id(&self) -> AgentId {
+        self.id
+    }
+
+    /// This agent's name.
+    pub fn name(&self) -> String {
+        self.shared.central.lock().agent_name(self.id).to_string()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.central.lock().clock
+    }
+
+    /// Hand the token to the scheduler and park until resumed.
+    fn handoff(&mut self, req: Request) {
+        let mut g = self.shared.central.lock();
+        g.request = Some((self.id, req));
+        g.turn = Turn::Scheduler;
+        self.shared.sched_cv.notify_one();
+        loop {
+            if g.shutdown {
+                drop(g);
+                resume_unwind(Box::new(ShutdownUnwind));
+            }
+            if matches!(g.turn, Turn::Agent(a) if a == self.id) {
+                return;
+            }
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Charge `dur` of virtual time to this agent (blocking).
+    pub fn advance(&mut self, dur: SimDur) {
+        if dur.is_zero() {
+            return;
+        }
+        self.handoff(Request::Advance(dur));
+    }
+
+    /// Charge `dur` of virtual time *and* record a trace span covering it.
+    ///
+    /// This is the workhorse for modeled activities: compute phases, DMA
+    /// initiation overheads, API call costs.
+    pub fn busy(&mut self, category: Category, label: impl Into<String>, dur: SimDur) {
+        if dur.is_zero() {
+            return;
+        }
+        let start = self.now();
+        self.advance(dur);
+        let end = self.now();
+        self.record(category, label, start, end);
+    }
+
+    /// Reschedule after all other currently-runnable same-time work.
+    pub fn yield_now(&mut self) {
+        self.handoff(Request::Yield);
+    }
+
+    /// Block until `flag <cmp> value` holds (no trace span).
+    pub fn wait_flag(&mut self, flag: Flag, cmp: Cmp, value: u64) {
+        self.handoff(Request::WaitFlag { flag, cmp, value });
+    }
+
+    /// Block until `flag <cmp> value` holds, recording the wait as a span.
+    pub fn wait_flag_traced(
+        &mut self,
+        flag: Flag,
+        cmp: Cmp,
+        value: u64,
+        category: Category,
+        label: impl Into<String>,
+    ) {
+        let start = self.now();
+        self.wait_flag(flag, cmp, value);
+        let end = self.now();
+        self.record(category, label, start, end);
+    }
+
+    /// Arrive at an N-party barrier and block until all parties arrive.
+    pub fn barrier(&mut self, barrier: Barrier) {
+        self.handoff(Request::Barrier(barrier));
+    }
+
+    /// Barrier arrival recorded as a trace span (category usually `Sync`).
+    pub fn barrier_traced(
+        &mut self,
+        barrier: Barrier,
+        category: Category,
+        label: impl Into<String>,
+    ) {
+        let start = self.now();
+        self.barrier(barrier);
+        let end = self.now();
+        self.record(category, label, start, end);
+    }
+
+    /// Apply a signal to a flag *now* (non-blocking, zero virtual time).
+    pub fn signal(&self, flag: Flag, op: SignalOp, value: u64) {
+        let mut g = self.shared.central.lock();
+        let at = g.clock;
+        g.apply_signal(flag, op, value, at);
+    }
+
+    /// Schedule a signal to apply after `delay` (e.g. a DMA completion).
+    pub fn schedule_signal(&self, flag: Flag, op: SignalOp, value: u64, delay: SimDur) {
+        let mut g = self.shared.central.lock();
+        let t = g.clock + delay;
+        g.push_signal(t, flag, op, value);
+    }
+
+    /// Schedule a side-effect closure to run after `delay`.
+    ///
+    /// Used to materialize asynchronous effects at their completion time —
+    /// e.g. a DMA engine writing transferred bytes into the destination
+    /// buffer. The closure runs on the scheduler thread and must not call
+    /// back into the engine; pair it with [`AgentCtx::schedule_signal`] (the
+    /// call is executed before a signal scheduled afterwards at equal time).
+    pub fn schedule_call(&self, delay: SimDur, f: impl FnOnce() + Send + 'static) {
+        let mut g = self.shared.central.lock();
+        let t = g.clock + delay;
+        g.push_call(t, Box::new(f));
+    }
+
+    /// Read a flag's current value (non-blocking).
+    pub fn flag_value(&self, flag: Flag) -> u64 {
+        self.shared.central.lock().flag_value(flag)
+    }
+
+    /// Allocate a new flag from agent context.
+    pub fn new_flag(&self, init: u64) -> Flag {
+        self.shared.central.lock().new_flag(init)
+    }
+
+    /// Allocate a new barrier from agent context.
+    pub fn new_barrier(&self, parties: usize) -> Barrier {
+        self.shared.central.lock().new_barrier(parties)
+    }
+
+    /// Spawn a child agent, runnable at the current virtual time.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> AgentId
+    where
+        F: FnOnce(&mut AgentCtx) + Send + 'static,
+    {
+        spawn_agent(&self.shared, name.into(), f)
+    }
+
+    /// Record an arbitrary span (for activities whose time was charged
+    /// elsewhere, e.g. a DMA that completed via `schedule_signal`).
+    pub fn record(
+        &self,
+        category: Category,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let mut g = self.shared.central.lock();
+        let agent_name = g.agent_name(self.id).to_string();
+        g.record_span(TraceSpan {
+            agent: self.id,
+            agent_name,
+            start,
+            end,
+            category,
+            label: label.into(),
+        });
+    }
+}

@@ -1,0 +1,549 @@
+//! The deterministic virtual-time scheduler.
+//!
+//! # Execution model
+//!
+//! Agents are imperative routines (host threads, persistent-kernel thread
+//! blocks, stream workers, …) written as ordinary Rust closures against
+//! [`AgentCtx`](crate::agent::AgentCtx). Each agent runs on its own OS thread,
+//! but **exactly one thread is ever runnable at a time**: control ping-pongs
+//! between the scheduler (the thread that called [`Engine::run`]) and the
+//! single agent it has resumed. The result is a sequential, fully
+//! deterministic simulation in which agent code can block (`advance`,
+//! `wait_flag`, `barrier`) with ordinary imperative control flow — no hand
+//! written state machines, no async.
+//!
+//! # Determinism
+//!
+//! Runnable work is ordered by `(virtual_time, sequence_number)`, where the
+//! sequence number increases monotonically with every enqueue. Two runs of
+//! the same program therefore execute agents in the identical order and
+//! produce identical virtual end times (and identical buffer contents in the
+//! layers above).
+
+use crate::agent::{AgentCtx, AgentId};
+use crate::sync::{Barrier, Cmp, Flag, SignalOp};
+use crate::time::{SimDur, SimTime};
+use crate::trace::{Trace, TraceSpan};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Errors surfaced by [`Engine::run`].
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// Live agents remain but none can ever run again.
+    Deadlock {
+        /// Virtual time at which progress stopped.
+        time: SimTime,
+        /// `name: blocked-on` diagnostics for every stuck agent.
+        blocked: Vec<String>,
+    },
+    /// An agent closure panicked.
+    AgentPanic {
+        /// Name of the panicking agent.
+        agent: String,
+        /// Rendered panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { time, blocked } => {
+                write!(f, "simulation deadlocked at {time}; blocked agents: ")?;
+                for (i, b) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                Ok(())
+            }
+            SimError::AgentPanic { agent, message } => {
+                write!(f, "agent `{agent}` panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// What an agent asks of the scheduler when it hands control back.
+pub(crate) enum Request {
+    /// Charge virtual time, resume at `now + dur`.
+    Advance(SimDur),
+    /// Block until the flag satisfies `cmp value`.
+    WaitFlag { flag: Flag, cmp: Cmp, value: u64 },
+    /// Block on an N-party barrier.
+    Barrier(Barrier),
+    /// Resume after other same-time work.
+    Yield,
+    /// Agent closure returned (or panicked with the given message).
+    Finished(Option<String>),
+}
+
+/// A queue entry: something that happens at a virtual time.
+enum Action {
+    Resume(AgentId),
+    Signal { flag: Flag, op: SignalOp, value: u64 },
+    /// Run a side-effect closure (e.g. materialize DMA data at completion
+    /// time). Executed on the scheduler thread, outside the engine lock; the
+    /// closure must not call back into the engine.
+    Call(Box<dyn FnOnce() + Send>),
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+pub(crate) enum Turn {
+    Scheduler,
+    Agent(AgentId),
+}
+
+struct FlagState {
+    value: u64,
+    waiters: Vec<(AgentId, Cmp, u64)>,
+}
+
+struct BarrierState {
+    parties: usize,
+    waiting: Vec<AgentId>,
+}
+
+struct AgentSlot {
+    name: String,
+    cv: Arc<Condvar>,
+    handle: Option<JoinHandle<()>>,
+    alive: bool,
+    /// Human-readable description of what the agent is blocked on.
+    blocked_on: Option<String>,
+}
+
+pub(crate) struct Central {
+    pub(crate) turn: Turn,
+    pub(crate) clock: SimTime,
+    pub(crate) shutdown: bool,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    flags: Vec<FlagState>,
+    barriers: Vec<BarrierState>,
+    agents: Vec<AgentSlot>,
+    live_agents: usize,
+    pub(crate) request: Option<(AgentId, Request)>,
+    pub(crate) trace: Trace,
+    trace_enabled: bool,
+}
+
+impl Central {
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn push(&mut self, time: SimTime, action: Action) {
+        let seq = self.next_seq();
+        self.queue.push(Scheduled { time, seq, action });
+    }
+
+    /// Schedule a future signal application (e.g. a DMA completion).
+    pub(crate) fn push_signal(&mut self, time: SimTime, flag: Flag, op: SignalOp, value: u64) {
+        self.push(time, Action::Signal { flag, op, value });
+    }
+
+    /// Schedule a future side-effect closure.
+    pub(crate) fn push_call(&mut self, time: SimTime, f: Box<dyn FnOnce() + Send>) {
+        self.push(time, Action::Call(f));
+    }
+
+    /// Apply a signal to a flag and make every now-satisfied waiter runnable.
+    pub(crate) fn apply_signal(&mut self, flag: Flag, op: SignalOp, value: u64, at: SimTime) {
+        let state = &mut self.flags[flag.0];
+        state.value = op.apply(state.value, value);
+        let val = state.value;
+        let mut woken = Vec::new();
+        state.waiters.retain(|&(agent, cmp, target)| {
+            if cmp.eval(val, target) {
+                woken.push(agent);
+                false
+            } else {
+                true
+            }
+        });
+        for agent in woken {
+            self.agents[agent.0].blocked_on = None;
+            self.push(at, Action::Resume(agent));
+        }
+    }
+
+    pub(crate) fn flag_value(&self, flag: Flag) -> u64 {
+        self.flags[flag.0].value
+    }
+
+    pub(crate) fn new_flag(&mut self, init: u64) -> Flag {
+        self.flags.push(FlagState {
+            value: init,
+            waiters: Vec::new(),
+        });
+        Flag(self.flags.len() - 1)
+    }
+
+    pub(crate) fn new_barrier(&mut self, parties: usize) -> Barrier {
+        assert!(parties > 0, "barrier needs at least one party");
+        self.barriers.push(BarrierState {
+            parties,
+            waiting: Vec::new(),
+        });
+        Barrier(self.barriers.len() - 1)
+    }
+
+    pub(crate) fn record_span(&mut self, span: TraceSpan) {
+        if self.trace_enabled {
+            self.trace.push(span);
+        }
+    }
+
+    pub(crate) fn agent_name(&self, id: AgentId) -> &str {
+        &self.agents[id.0].name
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) central: Mutex<Central>,
+    pub(crate) sched_cv: Condvar,
+}
+
+/// The deterministic virtual-time discrete-event engine.
+///
+/// Typical use:
+///
+/// ```
+/// use sim_des::{Engine, Cmp, SignalOp, us};
+///
+/// let engine = Engine::new();
+/// let flag = engine.flag(0);
+/// engine.spawn("producer", move |ctx| {
+///     ctx.advance(us(5.0));
+///     ctx.signal(flag, SignalOp::Set, 1);
+/// });
+/// engine.spawn("consumer", move |ctx| {
+///     ctx.wait_flag(flag, Cmp::Ge, 1);
+///     assert_eq!(ctx.now().as_micros_f64(), 5.0);
+/// });
+/// let end = engine.run().unwrap();
+/// assert_eq!(end.as_micros_f64(), 5.0);
+/// ```
+pub struct Engine {
+    shared: Arc<Shared>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Create an empty engine at virtual time zero.
+    pub fn new() -> Self {
+        Engine {
+            shared: Arc::new(Shared {
+                central: Mutex::new(Central {
+                    turn: Turn::Scheduler,
+                    clock: SimTime::ZERO,
+                    shutdown: false,
+                    seq: 0,
+                    queue: BinaryHeap::new(),
+                    flags: Vec::new(),
+                    barriers: Vec::new(),
+                    agents: Vec::new(),
+                    live_agents: 0,
+                    request: None,
+                    trace: Trace::new(),
+                    trace_enabled: true,
+                }),
+                sched_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Allocate a signal flag with an initial value.
+    pub fn flag(&self, init: u64) -> Flag {
+        self.shared.central.lock().new_flag(init)
+    }
+
+    /// Allocate a reusable N-party barrier.
+    pub fn barrier(&self, parties: usize) -> Barrier {
+        self.shared.central.lock().new_barrier(parties)
+    }
+
+    /// Current value of a flag (also usable after the run for inspection).
+    pub fn flag_value(&self, flag: Flag) -> u64 {
+        self.shared.central.lock().flag_value(flag)
+    }
+
+    /// Enable or disable span recording (enabled by default).
+    pub fn set_trace_enabled(&self, enabled: bool) {
+        self.shared.central.lock().trace_enabled = enabled;
+    }
+
+    /// Clone the recorded trace (normally read after [`Engine::run`]).
+    pub fn trace(&self) -> Trace {
+        self.shared.central.lock().trace.clone()
+    }
+
+    /// Virtual time of the engine clock.
+    pub fn now(&self) -> SimTime {
+        self.shared.central.lock().clock
+    }
+
+    /// Spawn an agent, runnable at the current virtual time.
+    ///
+    /// Returns its id. The closure runs on a dedicated OS thread, but only
+    /// when the scheduler hands it the (single) execution token.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> AgentId
+    where
+        F: FnOnce(&mut AgentCtx) + Send + 'static,
+    {
+        spawn_agent(&self.shared, name.into(), f)
+    }
+
+    /// Drive the simulation until every agent has finished.
+    ///
+    /// Returns the final virtual time, or an error on deadlock / agent panic.
+    /// On error the engine is shut down: all parked agent threads are
+    /// unwound and joined, so the process does not leak threads.
+    pub fn run(&self) -> Result<SimTime, SimError> {
+        let result = self.drive();
+        if result.is_err() {
+            self.shutdown();
+        }
+        result
+    }
+
+    fn drive(&self) -> Result<SimTime, SimError> {
+        let mut g = self.shared.central.lock();
+        loop {
+            let Some(next) = g.queue.pop() else {
+                if g.live_agents == 0 {
+                    return Ok(g.clock);
+                }
+                let time = g.clock;
+                let blocked = g
+                    .agents
+                    .iter()
+                    .filter(|a| a.alive)
+                    .map(|a| {
+                        format!(
+                            "{}: {}",
+                            a.name,
+                            a.blocked_on.as_deref().unwrap_or("(unknown wait)")
+                        )
+                    })
+                    .collect();
+                return Err(SimError::Deadlock { time, blocked });
+            };
+            debug_assert!(next.time >= g.clock, "time went backwards");
+            g.clock = next.time;
+            match next.action {
+                Action::Signal { flag, op, value } => {
+                    let at = g.clock;
+                    g.apply_signal(flag, op, value, at);
+                }
+                Action::Call(f) => {
+                    // Run outside the lock: the closure may take unrelated
+                    // locks (buffer mutexes) but must not re-enter the engine.
+                    drop(g);
+                    f();
+                    g = self.shared.central.lock();
+                }
+                Action::Resume(agent) => {
+                    // Hand the token to the agent and wait for it back.
+                    g.turn = Turn::Agent(agent);
+                    let cv = Arc::clone(&g.agents[agent.0].cv);
+                    cv.notify_one();
+                    while !matches!(g.turn, Turn::Scheduler) {
+                        self.shared.sched_cv.wait(&mut g);
+                    }
+                    let (id, request) = g.request.take().expect("agent yielded without request");
+                    debug_assert_eq!(id, agent);
+                    match request {
+                        Request::Advance(dur) => {
+                            let t = g.clock + dur;
+                            g.push(t, Action::Resume(agent));
+                        }
+                        Request::WaitFlag { flag, cmp, value } => {
+                            if cmp.eval(g.flags[flag.0].value, value) {
+                                let t = g.clock;
+                                g.push(t, Action::Resume(agent));
+                            } else {
+                                g.agents[agent.0].blocked_on =
+                                    Some(format!("flag #{} {:?} {}", flag.0, cmp, value));
+                                g.flags[flag.0].waiters.push((agent, cmp, value));
+                            }
+                        }
+                        Request::Barrier(b) => {
+                            g.agents[agent.0].blocked_on = Some(format!("barrier #{}", b.0));
+                            g.barriers[b.0].waiting.push(agent);
+                            if g.barriers[b.0].waiting.len() == g.barriers[b.0].parties {
+                                let t = g.clock;
+                                let woken = std::mem::take(&mut g.barriers[b.0].waiting);
+                                for w in woken {
+                                    g.agents[w.0].blocked_on = None;
+                                    g.push(t, Action::Resume(w));
+                                }
+                            }
+                        }
+                        Request::Yield => {
+                            let t = g.clock;
+                            g.push(t, Action::Resume(agent));
+                        }
+                        Request::Finished(panic_msg) => {
+                            g.agents[agent.0].alive = false;
+                            g.live_agents -= 1;
+                            if let Some(h) = g.agents[agent.0].handle.take() {
+                                // The thread is past its last handoff; join is
+                                // immediate and keeps the process tidy.
+                                drop(g);
+                                let _ = h.join();
+                                g = self.shared.central.lock();
+                            }
+                            if let Some(message) = panic_msg {
+                                let agent_name = g.agents[agent.0].name.clone();
+                                return Err(SimError::AgentPanic {
+                                    agent: agent_name,
+                                    message,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unwind and join every still-parked agent thread.
+    fn shutdown(&self) {
+        let mut g = self.shared.central.lock();
+        g.shutdown = true;
+        let cvs: Vec<Arc<Condvar>> = g
+            .agents
+            .iter()
+            .filter(|a| a.alive)
+            .map(|a| Arc::clone(&a.cv))
+            .collect();
+        for cv in &cvs {
+            cv.notify_all();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            g.agents.iter_mut().filter_map(|a| a.handle.take()).collect();
+        drop(g);
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Sentinel panic payload used to unwind agents during shutdown.
+pub(crate) struct ShutdownUnwind;
+
+pub(crate) fn spawn_agent<F>(shared: &Arc<Shared>, name: String, f: F) -> AgentId
+where
+    F: FnOnce(&mut AgentCtx) + Send + 'static,
+{
+    let cv = Arc::new(Condvar::new());
+    let id;
+    {
+        let mut g = shared.central.lock();
+        id = AgentId(g.agents.len());
+        g.agents.push(AgentSlot {
+            name,
+            cv: Arc::clone(&cv),
+            handle: None,
+            alive: true,
+            blocked_on: None,
+        });
+        g.live_agents += 1;
+        let t = g.clock;
+        g.push(t, Action::Resume(id));
+    }
+    let thread_shared = Arc::clone(shared);
+    let thread_cv = Arc::clone(&cv);
+    let handle = std::thread::Builder::new()
+        .name(format!("sim-agent-{}", id.0))
+        .spawn(move || {
+            // Park until the scheduler hands us the token for the first time.
+            {
+                let mut g = thread_shared.central.lock();
+                while !matches!(g.turn, Turn::Agent(a) if a == id) {
+                    if g.shutdown {
+                        return;
+                    }
+                    thread_cv.wait(&mut g);
+                }
+            }
+            let mut ctx = AgentCtx::new(Arc::clone(&thread_shared), id, Arc::clone(&thread_cv));
+            let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+            let panic_msg = match result {
+                Ok(()) => None,
+                Err(payload) => {
+                    if payload.downcast_ref::<ShutdownUnwind>().is_some() {
+                        // Engine-initiated unwind: exit silently, the engine
+                        // is already tearing down and holds no expectations.
+                        return;
+                    }
+                    Some(render_panic(&*payload))
+                }
+            };
+            // Final handoff: report completion to the scheduler.
+            let mut g = thread_shared.central.lock();
+            g.request = Some((id, Request::Finished(panic_msg)));
+            g.turn = Turn::Scheduler;
+            thread_shared.sched_cv.notify_one();
+        })
+        .expect("failed to spawn agent thread");
+    shared.central.lock().agents[id.0].handle = Some(handle);
+    id
+}
+
+fn render_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_string()
+    }
+}

@@ -1,0 +1,90 @@
+//! Synchronization primitive *handles* used by agents.
+//!
+//! The actual state (flag values, waiter lists, barrier membership) lives
+//! inside the engine so that every operation is mediated by the deterministic
+//! scheduler. Handles are small copyable ids.
+
+/// Comparison used by flag waits, mirroring `NVSHMEM_CMP_*` constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// Wait until `flag == value`.
+    Eq,
+    /// Wait until `flag != value`.
+    Ne,
+    /// Wait until `flag >= value`.
+    Ge,
+    /// Wait until `flag > value`.
+    Gt,
+    /// Wait until `flag <= value`.
+    Le,
+    /// Wait until `flag < value`.
+    Lt,
+}
+
+impl Cmp {
+    /// Evaluate `lhs <cmp> rhs`.
+    #[inline]
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            Cmp::Eq => lhs == rhs,
+            Cmp::Ne => lhs != rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Gt => lhs > rhs,
+            Cmp::Le => lhs <= rhs,
+            Cmp::Lt => lhs < rhs,
+        }
+    }
+}
+
+/// How a signal updates a flag, mirroring `NVSHMEM_SIGNAL_{SET,ADD}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalOp {
+    /// `flag = value`.
+    Set,
+    /// `flag += value`.
+    Add,
+}
+
+impl SignalOp {
+    /// Apply the operation to a current value.
+    #[inline]
+    pub fn apply(self, current: u64, value: u64) -> u64 {
+        match self {
+            SignalOp::Set => value,
+            SignalOp::Add => current.wrapping_add(value),
+        }
+    }
+}
+
+/// Handle to an engine-owned 64-bit signal flag.
+///
+/// Flags are the universal completion/notification mechanism: DMA-completion
+/// markers, NVSHMEM signal cells, stream doorbells, CUDA events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Flag(pub(crate) usize);
+
+/// Handle to an engine-owned reusable N-party barrier (e.g. `grid.sync()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Barrier(pub(crate) usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_all_variants() {
+        assert!(Cmp::Eq.eval(3, 3) && !Cmp::Eq.eval(3, 4));
+        assert!(Cmp::Ne.eval(3, 4) && !Cmp::Ne.eval(3, 3));
+        assert!(Cmp::Ge.eval(4, 3) && Cmp::Ge.eval(3, 3) && !Cmp::Ge.eval(2, 3));
+        assert!(Cmp::Gt.eval(4, 3) && !Cmp::Gt.eval(3, 3));
+        assert!(Cmp::Le.eval(3, 3) && Cmp::Le.eval(2, 3) && !Cmp::Le.eval(4, 3));
+        assert!(Cmp::Lt.eval(2, 3) && !Cmp::Lt.eval(3, 3));
+    }
+
+    #[test]
+    fn signal_op_apply() {
+        assert_eq!(SignalOp::Set.apply(10, 3), 3);
+        assert_eq!(SignalOp::Add.apply(10, 3), 13);
+        assert_eq!(SignalOp::Add.apply(u64::MAX, 1), 0); // wraps, never panics
+    }
+}

@@ -1,0 +1,402 @@
+//! Span traces — the simulator's answer to an Nsight timeline.
+//!
+//! Every interesting activity (compute, communication, synchronization wait,
+//! host API overhead, …) is recorded as a [`TraceSpan`] with a start and end
+//! in virtual time. Figures like the paper's "communication overlap ratio"
+//! (Fig 2.2b) are *measured* from these spans, not asserted: we take the union
+//! of communication spans and intersect it with the union of compute spans.
+
+use crate::agent::AgentId;
+use crate::time::{SimDur, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Broad classification of a span, used by overlap/summary analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Numerical work on a device (stencil sweeps, boundary updates, …).
+    Compute,
+    /// Data movement between devices or host↔device.
+    Comm,
+    /// Blocking synchronization (stream sync, grid sync, signal waits, barriers).
+    Sync,
+    /// Kernel-launch latency charged on the host.
+    Launch,
+    /// Miscellaneous host-side API overhead (enqueue costs, event ops).
+    Api,
+    /// Anything else.
+    Other,
+}
+
+impl Category {
+    /// Short fixed-width tag for timeline rendering.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Category::Compute => "COMP",
+            Category::Comm => "COMM",
+            Category::Sync => "SYNC",
+            Category::Launch => "LNCH",
+            Category::Api => "API ",
+            Category::Other => "OTHR",
+        }
+    }
+}
+
+/// One closed interval of activity attributed to an agent.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// The agent that performed the activity.
+    pub agent: AgentId,
+    /// Human-readable agent name (e.g. `"gpu3.comm_top"`).
+    pub agent_name: String,
+    /// Start of the activity.
+    pub start: SimTime,
+    /// End of the activity (`end >= start`).
+    pub end: SimTime,
+    /// Classification for analyses.
+    pub category: Category,
+    /// Free-form label (e.g. `"halo put -> gpu2"`).
+    pub label: String,
+}
+
+impl TraceSpan {
+    /// Duration covered by the span.
+    pub fn dur(&self) -> SimDur {
+        self.end.since(self.start)
+    }
+}
+
+/// A completed simulation's trace: an ordered list of spans.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a span (engine-internal, but public for custom recorders).
+    pub fn push(&mut self, span: TraceSpan) {
+        debug_assert!(span.end >= span.start, "span ends before it starts");
+        self.spans.push(span);
+    }
+
+    /// All spans, in recording order.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if no span was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans matching a predicate, cloned into a new trace.
+    pub fn filter(&self, mut pred: impl FnMut(&TraceSpan) -> bool) -> Trace {
+        Trace {
+            spans: self.spans.iter().filter(|s| pred(s)).cloned().collect(),
+        }
+    }
+
+    /// Sum of raw span durations in a category (double-counts overlap).
+    pub fn total(&self, category: Category) -> SimDur {
+        self.spans
+            .iter()
+            .filter(|s| s.category == category)
+            .map(|s| s.dur())
+            .sum()
+    }
+
+    /// Length of the *union* of intervals in a category (no double counting).
+    pub fn busy(&self, category: Category) -> SimDur {
+        union_len(&self.intervals(category))
+    }
+
+    /// Length of time where `a`-category and `b`-category activity coexist.
+    ///
+    /// This is the paper's "overlapped communication": intersect the union of
+    /// communication intervals with the union of compute intervals.
+    pub fn overlap(&self, a: Category, b: Category) -> SimDur {
+        intersect_len(&self.intervals(a), &self.intervals(b))
+    }
+
+    /// Fraction of `a`'s busy time that coexists with `b` (0.0–1.0).
+    ///
+    /// Returns 0.0 when `a` has no busy time.
+    pub fn overlap_ratio(&self, a: Category, b: Category) -> f64 {
+        let busy = self.busy(a).as_nanos();
+        if busy == 0 {
+            return 0.0;
+        }
+        self.overlap(a, b).as_nanos() as f64 / busy as f64
+    }
+
+    /// Per-category totals (raw sums), for summary tables.
+    pub fn totals_by_category(&self) -> BTreeMap<Category, SimDur> {
+        let mut map = BTreeMap::new();
+        for s in &self.spans {
+            *map.entry(s.category).or_insert(SimDur::ZERO) += s.dur();
+        }
+        map
+    }
+
+    /// Merged, sorted interval list for a category.
+    fn intervals(&self, category: Category) -> Vec<(u64, u64)> {
+        let mut iv: Vec<(u64, u64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.category == category && s.end > s.start)
+            .map(|s| (s.start.as_nanos(), s.end.as_nanos()))
+            .collect();
+        iv.sort_unstable();
+        merge(iv)
+    }
+
+    /// Export in Chrome tracing (catapult) JSON format — open in
+    /// `chrome://tracing` or Perfetto for an interactive Nsight-style view.
+    ///
+    /// Each agent becomes a "thread"; spans become complete (`ph:"X"`)
+    /// events with microsecond timestamps.
+    pub fn to_chrome_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut agents: Vec<(AgentId, &str)> = Vec::new();
+        for s in &self.spans {
+            if !agents.iter().any(|(id, _)| *id == s.agent) {
+                agents.push((s.agent, &s.agent_name));
+            }
+        }
+        agents.sort_by_key(|(id, _)| *id);
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        for (id, name) in &agents {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                id.0,
+                esc(name)
+            ));
+        }
+        for s in &self.spans {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\
+                 \"dur\":{:.3},\"pid\":0,\"tid\":{}}}",
+                esc(&s.label),
+                s.category.tag().trim(),
+                s.start.as_micros_f64(),
+                s.dur().as_micros_f64(),
+                s.agent.0
+            ));
+        }
+        out.push_str("\n]}");
+        out
+    }
+
+    /// Render a fixed-width ASCII timeline grouped by agent name — the
+    /// simulator's stand-in for the paper's Nsight screenshots (Fig 2.1b/5.1b).
+    ///
+    /// `width` is the number of character columns used for the time axis.
+    pub fn render_timeline(&self, width: usize) -> String {
+        let width = width.max(10);
+        let mut out = String::new();
+        if self.spans.is_empty() {
+            out.push_str("(empty trace)\n");
+            return out;
+        }
+        let t0 = self.spans.iter().map(|s| s.start).min().unwrap();
+        let t1 = self.spans.iter().map(|s| s.end).max().unwrap();
+        let total = (t1.since(t0).as_nanos()).max(1);
+        let mut by_agent: BTreeMap<&str, Vec<&TraceSpan>> = BTreeMap::new();
+        for s in &self.spans {
+            by_agent.entry(&s.agent_name).or_default().push(s);
+        }
+        let name_w = by_agent.keys().map(|n| n.len()).max().unwrap_or(4).max(5);
+        let _ = writeln!(
+            out,
+            "{:name_w$} |{}| span {} .. {}",
+            "agent",
+            "-".repeat(width),
+            t0,
+            t1
+        );
+        for (name, spans) in by_agent {
+            let mut row = vec![b' '; width];
+            for s in spans {
+                let a = ((s.start.since(t0).as_nanos()) as u128 * width as u128 / total as u128)
+                    as usize;
+                let b = ((s.end.since(t0).as_nanos()) as u128 * width as u128 / total as u128)
+                    as usize;
+                let b = b.clamp(a + 1, width).min(width);
+                let ch = match s.category {
+                    Category::Compute => b'#',
+                    Category::Comm => b'~',
+                    Category::Sync => b'.',
+                    Category::Launch => b'L',
+                    Category::Api => b'a',
+                    Category::Other => b'o',
+                };
+                for c in &mut row[a.min(width - 1)..b] {
+                    // Keep the "densest" marker: compute wins over waits.
+                    if *c == b' ' || *c == b'.' {
+                        *c = ch;
+                    }
+                }
+            }
+            let _ = writeln!(out, "{:name_w$} |{}|", name, String::from_utf8(row).unwrap());
+        }
+        out.push_str("legend: # compute  ~ comm  . sync-wait  L launch  a api\n");
+        out
+    }
+}
+
+/// Merge sorted intervals into disjoint ones.
+fn merge(iv: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of disjoint intervals.
+fn union_len(iv: &[(u64, u64)]) -> SimDur {
+    SimDur(iv.iter().map(|(s, e)| e - s).sum())
+}
+
+/// Total length of the intersection of two disjoint, sorted interval lists.
+fn intersect_len(a: &[(u64, u64)], b: &[(u64, u64)]) -> SimDur {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            acc += hi - lo;
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    SimDur(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::us;
+
+    fn span(cat: Category, a: u64, b: u64) -> TraceSpan {
+        TraceSpan {
+            agent: AgentId(0),
+            agent_name: "t".into(),
+            start: SimTime(a),
+            end: SimTime(b),
+            category: cat,
+            label: String::new(),
+        }
+    }
+
+    #[test]
+    fn totals_and_busy_differ_under_overlap() {
+        let mut t = Trace::new();
+        t.push(span(Category::Comm, 0, 100));
+        t.push(span(Category::Comm, 50, 150));
+        assert_eq!(t.total(Category::Comm).as_nanos(), 200);
+        assert_eq!(t.busy(Category::Comm).as_nanos(), 150);
+    }
+
+    #[test]
+    fn overlap_between_categories() {
+        let mut t = Trace::new();
+        t.push(span(Category::Comm, 0, 100));
+        t.push(span(Category::Compute, 60, 200));
+        assert_eq!(t.overlap(Category::Comm, Category::Compute).as_nanos(), 40);
+        let r = t.overlap_ratio(Category::Comm, Category::Compute);
+        assert!((r - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_ratio_zero_when_empty() {
+        let t = Trace::new();
+        assert_eq!(t.overlap_ratio(Category::Comm, Category::Compute), 0.0);
+    }
+
+    #[test]
+    fn merge_handles_adjacent_and_nested() {
+        assert_eq!(merge(vec![(0, 10), (10, 20), (15, 18)]), vec![(0, 20)]);
+        assert_eq!(merge(vec![(0, 5), (7, 9)]), vec![(0, 5), (7, 9)]);
+    }
+
+    #[test]
+    fn intersect_disjoint_lists() {
+        let a = vec![(0, 10), (20, 30)];
+        let b = vec![(5, 25)];
+        assert_eq!(intersect_len(&a, &b).as_nanos(), 10);
+    }
+
+    #[test]
+    fn timeline_renders_rows() {
+        let mut t = Trace::new();
+        t.push(span(Category::Compute, 0, us(10.0).as_nanos()));
+        t.push(span(Category::Comm, 0, us(5.0).as_nanos()));
+        let s = t.render_timeline(40);
+        assert!(s.contains('#'));
+        assert!(s.contains("legend"));
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let mut t = Trace::new();
+        t.push(TraceSpan {
+            agent: AgentId(3),
+            agent_name: "gpu0.\"comm\"".into(),
+            start: SimTime(1000),
+            end: SimTime(3500),
+            category: Category::Comm,
+            label: "halo \"put\"".into(),
+        });
+        let json = t.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\\\"put\\\""), "labels must be escaped");
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.contains("thread_name"));
+    }
+
+    #[test]
+    fn chrome_json_empty_trace() {
+        assert_eq!(Trace::new().to_chrome_json(), "{\"traceEvents\":[\n\n]}");
+    }
+
+    #[test]
+    fn filter_clones_matching_spans() {
+        let mut t = Trace::new();
+        t.push(span(Category::Comm, 0, 10));
+        t.push(span(Category::Compute, 0, 10));
+        let only = t.filter(|s| s.category == Category::Comm);
+        assert_eq!(only.len(), 1);
+    }
+}

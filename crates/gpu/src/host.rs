@@ -1,0 +1,268 @@
+//! The host-side runtime API — the simulator's `cudaXxx` surface.
+//!
+//! Every method charges the calibrated host latency of the corresponding
+//! CUDA runtime call. This is where CPU-controlled baselines pay their tax:
+//! per-iteration kernel launches, stream synchronizations, event choreography
+//! and host barriers all flow through here and show up in the trace.
+
+use crate::kernel::{BlockGroup, CoopKernel, GridInfo, KernelCtx};
+use crate::machine::Machine;
+use crate::mem::{Buf, DevId};
+use crate::stream::{stream_agent_main, Stream, StreamOp, StreamShared};
+use parking_lot::Mutex;
+use sim_des::{AgentCtx, Barrier, Category, Cmp, Flag, SignalOp};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Context of one host rank (a CPU thread driving GPUs).
+pub struct HostCtx<'a> {
+    agent: &'a mut AgentCtx,
+    machine: Machine,
+}
+
+impl<'a> HostCtx<'a> {
+    pub(crate) fn new(agent: &'a mut AgentCtx, machine: Machine) -> Self {
+        HostCtx { agent, machine }
+    }
+
+    /// The machine this rank belongs to.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &crate::cost::CostModel {
+        self.machine.cost()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> sim_des::SimTime {
+        self.agent.now()
+    }
+
+    /// Raw agent access (host barrier helpers, custom waits).
+    pub fn agent_mut(&mut self) -> &mut AgentCtx {
+        self.agent
+    }
+
+    /// Create a stream on `dev` (spawns its executor agent).
+    pub fn create_stream(&mut self, dev: DevId, name: impl Into<String>) -> Stream {
+        let name = name.into();
+        let shared = Arc::new(StreamShared {
+            dev,
+            name: format!("{dev}.{name}"),
+            ops: Mutex::new(VecDeque::new()),
+            doorbell: self.machine.flag(0),
+            completed: self.machine.flag(0),
+            enqueued: AtomicU64::new(0),
+        });
+        self.machine.inner.streams.lock().push(Arc::clone(&shared));
+        let agent_name = shared.name.clone();
+        self.machine
+            .engine()
+            .spawn(agent_name, stream_agent_main(self.machine.clone(), Arc::clone(&shared)));
+        self.agent
+            .busy(Category::Api, "cudaStreamCreate", self.machine.cost().api_call());
+        Stream { shared }
+    }
+
+    fn enqueue(&mut self, stream: &Stream, op: StreamOp) {
+        stream.shared.ops.lock().push_back(op);
+        stream.shared.enqueued.fetch_add(1, Ordering::SeqCst);
+        self.agent.signal(stream.shared.doorbell, SignalOp::Add, 1);
+    }
+
+    /// Launch a discrete kernel asynchronously on `stream`.
+    ///
+    /// Charges the host-side launch latency; the device-side start delay is
+    /// charged by the stream executor. The body runs when the stream reaches
+    /// the operation.
+    pub fn launch(
+        &mut self,
+        stream: &Stream,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut KernelCtx<'_>) + Send + 'static,
+    ) {
+        let name = name.into();
+        self.agent.busy(
+            Category::Launch,
+            format!("launch {name}"),
+            self.machine.cost().kernel_launch_host(),
+        );
+        self.enqueue(
+            stream,
+            StreamOp::Kernel {
+                name,
+                body: Box::new(body),
+            },
+        );
+    }
+
+    /// Asynchronous memory copy in stream order (`cudaMemcpyAsync`); the
+    /// copy kind (PCIe / NVLink P2P / device-local) is inferred from the
+    /// buffer locations.
+    pub fn memcpy_async(
+        &mut self,
+        stream: &Stream,
+        dst: &Buf,
+        dst_off: usize,
+        src: &Buf,
+        src_off: usize,
+        len: usize,
+    ) {
+        assert!(src_off + len <= src.len(), "memcpy src out of range");
+        assert!(dst_off + len <= dst.len(), "memcpy dst out of range");
+        self.agent.busy(
+            Category::Api,
+            "cudaMemcpyAsync",
+            self.machine.cost().api_call(),
+        );
+        self.enqueue(
+            stream,
+            StreamOp::Memcpy {
+                dst: dst.clone(),
+                dst_off,
+                src: src.clone(),
+                src_off,
+                len,
+            },
+        );
+    }
+
+    /// Record an event in stream order: `flag` is Set to `value` when the
+    /// stream reaches this point (`cudaEventRecord`).
+    pub fn record_event(&mut self, stream: &Stream, flag: Flag, value: u64) {
+        self.agent
+            .busy(Category::Api, "cudaEventRecord", self.machine.cost().event_op());
+        self.enqueue(stream, StreamOp::RecordEvent { flag, value });
+    }
+
+    /// Make `stream` wait until `flag >= value` (`cudaStreamWaitEvent`).
+    pub fn wait_event(&mut self, stream: &Stream, flag: Flag, value: u64) {
+        self.agent.busy(
+            Category::Api,
+            "cudaStreamWaitEvent",
+            self.machine.cost().event_op(),
+        );
+        self.enqueue(stream, StreamOp::WaitEvent { flag, value });
+    }
+
+    /// Block until every operation currently enqueued on `stream` completes
+    /// (`cudaStreamSynchronize`).
+    pub fn sync_stream(&mut self, stream: &Stream) {
+        let target = stream.shared.enqueued.load(Ordering::SeqCst);
+        let start = self.agent.now();
+        self.agent
+            .wait_flag(stream.shared.completed, Cmp::Ge, target);
+        self.agent.advance(self.machine.cost().stream_sync());
+        let end = self.agent.now();
+        self.agent.record(
+            Category::Sync,
+            format!("cudaStreamSynchronize {}", stream.name()),
+            start,
+            end,
+        );
+    }
+
+    /// Block on a host flag (e.g. completion of a cooperative kernel elsewhere).
+    pub fn wait_flag(&mut self, flag: Flag, cmp: Cmp, value: u64, label: impl Into<String>) {
+        self.agent
+            .wait_flag_traced(flag, cmp, value, Category::Sync, label);
+    }
+
+    /// Host-side barrier across `ranks` host threads (OpenMP/MPI barrier).
+    pub fn host_barrier(&mut self, barrier: Barrier, ranks: usize) {
+        let start = self.agent.now();
+        self.agent.barrier(barrier);
+        self.agent.advance(self.machine.cost().host_barrier(ranks));
+        let end = self.agent.now();
+        self.agent
+            .record(Category::Sync, "host barrier", start, end);
+    }
+
+    /// Launch a **cooperative (persistent) kernel**: all block groups start
+    /// together and may use `grid_sync`. Enforces the co-residency limit —
+    /// the sum of physical blocks must fit on the device simultaneously
+    /// (§4.1.4). Returns a handle to wait on.
+    ///
+    /// # Panics
+    /// If the groups oversubscribe the device for the given block size.
+    pub fn launch_cooperative(
+        &mut self,
+        dev: DevId,
+        name: impl Into<String>,
+        threads_per_block: u32,
+        groups: Vec<BlockGroup>,
+    ) -> CoopKernel {
+        self.try_launch_cooperative(dev, name, threads_per_block, groups)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`HostCtx::launch_cooperative`].
+    pub fn try_launch_cooperative(
+        &mut self,
+        dev: DevId,
+        name: impl Into<String>,
+        threads_per_block: u32,
+        groups: Vec<BlockGroup>,
+    ) -> Result<CoopKernel, String> {
+        let name = name.into();
+        let total_blocks: u64 = groups.iter().map(|g| g.blocks).sum();
+        let cap = self.machine.spec().max_coresident_blocks(threads_per_block);
+        if total_blocks == 0 {
+            return Err(format!("cooperative launch `{name}`: zero blocks"));
+        }
+        if total_blocks > cap {
+            return Err(format!(
+                "cooperative launch `{name}`: {total_blocks} blocks of {threads_per_block} \
+                 threads exceed co-residency capacity {cap} on {dev} \
+                 (cooperative kernels cannot oversubscribe; tile in software instead)"
+            ));
+        }
+        self.agent.busy(
+            Category::Launch,
+            format!("coop launch {name}"),
+            self.machine.cost().kernel_launch_host(),
+        );
+        let done = self.machine.flag(0);
+        let parties = groups.len() as u64;
+        let barrier = self.machine.barrier(groups.len());
+        let start_delay = self.machine.cost().kernel_launch_device();
+        for (group_index, g) in groups.into_iter().enumerate() {
+            let grid = GridInfo {
+                barrier,
+                group_index,
+                group_count: parties as usize,
+                blocks_in_group: g.blocks,
+                total_blocks,
+                threads_per_block,
+            };
+            let machine = self.machine.clone();
+            let body = g.body;
+            let kname = name.clone();
+            let agent_name = format!("{dev}.{name}.{}", g.name);
+            self.machine.engine().spawn(agent_name, move |agent| {
+                agent.busy(Category::Launch, format!("kstart {kname}"), start_delay);
+                let mut kctx = KernelCtx::cooperative(agent, machine, dev, &kname, grid);
+                body(&mut kctx);
+                agent.signal(done, SignalOp::Add, 1);
+            });
+        }
+        Ok(CoopKernel { done, parties, dev })
+    }
+
+    /// Block until a cooperative kernel finishes (`cudaDeviceSynchronize`-ish).
+    pub fn wait_cooperative(&mut self, kernel: &CoopKernel) {
+        let start = self.agent.now();
+        self.agent.wait_flag(kernel.done, Cmp::Ge, kernel.parties);
+        self.agent.advance(self.machine.cost().stream_sync());
+        let end = self.agent.now();
+        self.agent.record(
+            Category::Sync,
+            format!("wait coop kernel on {}", kernel.dev),
+            start,
+            end,
+        );
+    }
+}

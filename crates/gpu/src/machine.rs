@@ -1,0 +1,213 @@
+//! The simulated multi-GPU node: devices + engine + cost model + teardown.
+
+use crate::cost::CostModel;
+use crate::device::DeviceSpec;
+use crate::host::HostCtx;
+use crate::mem::{Buf, DevId, Place};
+use crate::stream::StreamShared;
+use parking_lot::Mutex;
+use sim_des::{Barrier, Engine, Flag, SimError, SimTime, SignalOp, Trace};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Whether kernels execute their buffer arithmetic or only charge time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Real arithmetic on real buffers (verifiable results).
+    Full,
+    /// Control flow, communication and costs only — for large-domain sweeps.
+    TimingOnly,
+}
+
+pub(crate) struct MachineInner {
+    pub(crate) engine: Engine,
+    pub(crate) cost: CostModel,
+    pub(crate) spec: DeviceSpec,
+    pub(crate) num_devices: usize,
+    pub(crate) exec_mode: ExecMode,
+    pub(crate) streams: Mutex<Vec<Arc<StreamShared>>>,
+    pub(crate) host_count: AtomicUsize,
+    pub(crate) hosts_done: Flag,
+    pub(crate) ran: AtomicBool,
+}
+
+/// A simulated multi-GPU node.
+///
+/// ```
+/// use gpu_sim::{Machine, CostModel, ExecMode};
+///
+/// let machine = Machine::new(4, CostModel::a100_hgx(), ExecMode::Full);
+/// machine.spawn_host("rank0", |host| {
+///     let dev = gpu_sim::DevId(0);
+///     let stream = host.create_stream(dev, "s0");
+///     host.launch(&stream, "noop", |_k| {});
+///     host.sync_stream(&stream);
+/// });
+/// let end = machine.run().unwrap();
+/// assert!(end.as_nanos() > 0);
+/// ```
+#[derive(Clone)]
+pub struct Machine {
+    pub(crate) inner: Arc<MachineInner>,
+}
+
+impl Machine {
+    /// Create a node with `num_devices` GPUs of the default A100 spec.
+    pub fn new(num_devices: usize, cost: CostModel, exec_mode: ExecMode) -> Machine {
+        Machine::with_spec(num_devices, DeviceSpec::a100(), cost, exec_mode)
+    }
+
+    /// Create a node with a custom device spec.
+    pub fn with_spec(
+        num_devices: usize,
+        spec: DeviceSpec,
+        cost: CostModel,
+        exec_mode: ExecMode,
+    ) -> Machine {
+        assert!(num_devices > 0, "need at least one device");
+        let engine = Engine::new();
+        let hosts_done = engine.flag(0);
+        Machine {
+            inner: Arc::new(MachineInner {
+                engine,
+                cost,
+                spec,
+                num_devices,
+                exec_mode,
+                streams: Mutex::new(Vec::new()),
+                host_count: AtomicUsize::new(0),
+                hosts_done,
+                ran: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The underlying discrete-event engine.
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// The device architecture.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.inner.spec
+    }
+
+    /// Number of GPUs in the node.
+    pub fn num_devices(&self) -> usize {
+        self.inner.num_devices
+    }
+
+    /// All device ids.
+    pub fn devices(&self) -> impl Iterator<Item = DevId> {
+        (0..self.inner.num_devices).map(DevId)
+    }
+
+    /// Functional or timing-only execution.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.inner.exec_mode
+    }
+
+    fn make_buf(&self, place: Place, name: String, len: usize) -> Buf {
+        match self.inner.exec_mode {
+            // Timing-only runs sweep paper-scale domains (tens of GB);
+            // buffers are virtual: sized for cost accounting, storage-free.
+            ExecMode::TimingOnly => Buf::new_virtual(place, name, len),
+            ExecMode::Full => Buf::new(place, name, len),
+        }
+    }
+
+    /// Allocate device global memory (virtual in timing-only mode).
+    pub fn alloc(&self, dev: DevId, name: impl Into<String>, len: usize) -> Buf {
+        self.check_dev(dev);
+        self.make_buf(Place::Device(dev), name.into(), len)
+    }
+
+    /// Allocate host memory (virtual in timing-only mode).
+    pub fn alloc_host(&self, name: impl Into<String>, len: usize) -> Buf {
+        self.make_buf(Place::Host, name.into(), len)
+    }
+
+    /// Allocate symmetric-heap memory on one device (used by `nvshmem-sim`;
+    /// applications normally allocate through that crate's collective API).
+    pub fn alloc_symmetric(&self, dev: DevId, name: impl Into<String>, len: usize) -> Buf {
+        self.check_dev(dev);
+        self.make_buf(Place::Symmetric(dev), name.into(), len)
+    }
+
+    fn check_dev(&self, dev: DevId) {
+        assert!(
+            dev.0 < self.inner.num_devices,
+            "device {dev} out of range (node has {})",
+            self.inner.num_devices
+        );
+    }
+
+    /// Allocate an engine flag.
+    pub fn flag(&self, init: u64) -> Flag {
+        self.inner.engine.flag(init)
+    }
+
+    /// Allocate an engine barrier.
+    pub fn barrier(&self, parties: usize) -> Barrier {
+        self.inner.engine.barrier(parties)
+    }
+
+    /// Spawn a host rank (one CPU thread controlling GPUs, as in the
+    /// OpenMP/MPI style of NVIDIA's multi-GPU samples).
+    pub fn spawn_host<F>(&self, name: impl Into<String>, f: F)
+    where
+        F: FnOnce(&mut HostCtx<'_>) + Send + 'static,
+    {
+        assert!(
+            !self.inner.ran.load(Ordering::SeqCst),
+            "spawn_host after run()"
+        );
+        self.inner.host_count.fetch_add(1, Ordering::SeqCst);
+        let machine = self.clone();
+        let done = self.inner.hosts_done;
+        self.inner.engine.spawn(name, move |agent| {
+            let mut host = HostCtx::new(agent, machine);
+            f(&mut host);
+            host.agent_mut().signal(done, SignalOp::Add, 1);
+        });
+    }
+
+    /// Run the simulation to completion.
+    ///
+    /// A supervisor agent waits for every host rank to return, then shuts
+    /// down all stream agents so the engine can drain.
+    pub fn run(&self) -> Result<SimTime, SimError> {
+        assert!(
+            !self.inner.ran.swap(true, Ordering::SeqCst),
+            "Machine::run called twice"
+        );
+        let machine = self.clone();
+        let hosts = self.inner.host_count.load(Ordering::SeqCst) as u64;
+        let done = self.inner.hosts_done;
+        self.inner.engine.spawn("machine.supervisor", move |ctx| {
+            ctx.wait_flag(done, sim_des::Cmp::Ge, hosts);
+            let streams = machine.inner.streams.lock().clone();
+            for s in streams {
+                s.ops.lock().push_back(crate::stream::StreamOp::Shutdown);
+                s.enqueued.fetch_add(1, Ordering::SeqCst);
+                ctx.signal(s.doorbell, SignalOp::Add, 1);
+            }
+        });
+        self.inner.engine.run()
+    }
+
+    /// The recorded trace (read after [`Machine::run`]).
+    pub fn trace(&self) -> Trace {
+        self.inner.engine.trace()
+    }
+
+    /// Enable/disable trace recording.
+    pub fn set_trace_enabled(&self, enabled: bool) {
+        self.inner.engine.set_trace_enabled(enabled);
+    }
+}

@@ -1,0 +1,139 @@
+//! CUDA-like streams: in-order queues of device operations.
+//!
+//! Each stream is backed by a dedicated agent that dequeues and executes
+//! operations one at a time (in-order within the stream, concurrent across
+//! streams — exactly CUDA's semantics). The host communicates with the
+//! stream through a doorbell flag and awaits completion through a
+//! completion-counter flag.
+
+use crate::kernel::{KernelBody, KernelCtx};
+use crate::machine::Machine;
+use crate::mem::{Buf, DevId, Place};
+use parking_lot::Mutex;
+use sim_des::{Category, Cmp, Flag, SignalOp};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One queued stream operation.
+pub(crate) enum StreamOp {
+    /// A discrete kernel: its body runs on the stream agent.
+    Kernel {
+        /// Kernel name for traces.
+        name: String,
+        /// Body executed with a [`KernelCtx`].
+        body: KernelBody,
+    },
+    /// An asynchronous memory copy; kind inferred from buffer places.
+    Memcpy {
+        dst: Buf,
+        dst_off: usize,
+        src: Buf,
+        src_off: usize,
+        len: usize,
+    },
+    /// Set `flag` to `value` when reached (cudaEventRecord).
+    RecordEvent { flag: Flag, value: u64 },
+    /// Stall the stream until `flag >= value` (cudaStreamWaitEvent).
+    WaitEvent { flag: Flag, value: u64 },
+    /// Terminate the stream agent (machine teardown).
+    Shutdown,
+}
+
+pub(crate) struct StreamShared {
+    pub(crate) dev: DevId,
+    pub(crate) name: String,
+    pub(crate) ops: Mutex<VecDeque<StreamOp>>,
+    /// Total enqueued ops (signaled with Add 1 per enqueue).
+    pub(crate) doorbell: Flag,
+    /// Total completed ops (signaled by the stream agent).
+    pub(crate) completed: Flag,
+    /// Mirror of the doorbell value, readable without the engine.
+    pub(crate) enqueued: AtomicU64,
+}
+
+/// Handle to a simulated CUDA stream.
+#[derive(Clone)]
+pub struct Stream {
+    pub(crate) shared: Arc<StreamShared>,
+}
+
+impl Stream {
+    /// The device this stream issues work to.
+    pub fn device(&self) -> DevId {
+        self.shared.dev
+    }
+
+    /// The stream's debug name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Number of operations enqueued so far.
+    pub fn enqueued(&self) -> u64 {
+        self.shared.enqueued.load(Ordering::SeqCst)
+    }
+}
+
+/// The body of the per-stream agent. Spawned by `HostCtx::create_stream`.
+pub(crate) fn stream_agent_main(
+    machine: Machine,
+    shared: Arc<StreamShared>,
+) -> impl FnOnce(&mut sim_des::AgentCtx) + Send + 'static {
+    move |ctx| {
+        let cost = machine.cost().clone();
+        let mut processed: u64 = 0;
+        loop {
+            ctx.wait_flag(shared.doorbell, Cmp::Gt, processed);
+            let op = shared
+                .ops
+                .lock()
+                .pop_front()
+                .expect("doorbell rang with empty queue");
+            processed += 1;
+            match op {
+                StreamOp::Shutdown => break,
+                StreamOp::Kernel { name, body } => {
+                    ctx.busy(
+                        Category::Launch,
+                        format!("kstart {name}"),
+                        cost.kernel_launch_device(),
+                    );
+                    let mut kctx = KernelCtx::discrete(ctx, machine.clone(), shared.dev, &name);
+                    body(&mut kctx);
+                    ctx.signal(shared.completed, SignalOp::Add, 1);
+                }
+                StreamOp::Memcpy {
+                    dst,
+                    dst_off,
+                    src,
+                    src_off,
+                    len,
+                } => {
+                    let bytes = (len * std::mem::size_of::<f64>()) as u64;
+                    let (dur, label) = match (src.place(), dst.place()) {
+                        (Place::Host, _) | (_, Place::Host) => {
+                            (cost.pcie_copy(bytes), "memcpy pcie")
+                        }
+                        (a, b) if a.device() == b.device() => {
+                            (cost.local_copy(bytes), "memcpy local")
+                        }
+                        _ => (cost.p2p_copy(bytes), "memcpy p2p"),
+                    };
+                    ctx.busy(Category::Comm, format!("{label} {len}el"), dur);
+                    dst.copy_from(dst_off, &src, src_off, len);
+                    ctx.signal(shared.completed, SignalOp::Add, 1);
+                }
+                StreamOp::RecordEvent { flag, value } => {
+                    ctx.busy(Category::Api, "event record", cost.event_op());
+                    ctx.signal(flag, SignalOp::Set, value);
+                    ctx.signal(shared.completed, SignalOp::Add, 1);
+                }
+                StreamOp::WaitEvent { flag, value } => {
+                    ctx.wait_flag_traced(flag, Cmp::Ge, value, Category::Sync, "stream wait event");
+                    ctx.signal(shared.completed, SignalOp::Add, 1);
+                }
+            }
+        }
+    }
+}

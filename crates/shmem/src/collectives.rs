@@ -1,0 +1,387 @@
+//! Device-side collectives built on the RMA + signaling primitives —
+//! what applications beyond stencils (iterative solvers with global
+//! reductions, §PERKS-style CG) need from the communication layer.
+//!
+//! The scalar allreduce uses **recursive doubling** for power-of-two PE
+//! counts (log₂ n rounds of pairwise exchange) and a **ring** otherwise.
+//! Floating-point combination order is fixed by PE index (lower PE's value
+//! is always the left operand), so every PE computes the *bitwise
+//! identical* result — and so can a reference implementation.
+
+use crate::{ShmemCtx, ShmemWorld, SymArray, SymSignal};
+use gpu_sim::KernelCtx;
+use sim_des::{Cmp, SignalOp};
+
+/// Reduction operator for collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum (left-to-right by PE index).
+    Sum,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// Combine two values with a fixed operand order.
+    #[inline]
+    pub fn combine(self, left: f64, right: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => left + right,
+            ReduceOp::Max => left.max(right),
+            ReduceOp::Min => left.min(right),
+        }
+    }
+}
+
+/// Collectively-allocated workspace for scalar all-reductions.
+///
+/// One instance per kernel role: every PE's participating agent clones the
+/// workspace and keeps a private sequence counter, so the same workspace
+/// can be reused every iteration of a persistent kernel.
+#[derive(Clone)]
+pub struct AllreduceWs {
+    /// One slot per round (recursive doubling / ring).
+    slots: SymArray,
+    /// One data-arrival signal per round.
+    sigs: Vec<SymSignal>,
+    /// One consumption-acknowledgement signal per round: a writer may not
+    /// reuse a slot for epoch `e` until the reader acked epoch `e-1`
+    /// (otherwise a fast PE can overwrite a slot the slow PE has not read).
+    acks: Vec<SymSignal>,
+    /// Local call counter (signal epochs).
+    seq: u64,
+    n_pes: usize,
+    rounds: usize,
+}
+
+impl AllreduceWs {
+    /// Collective allocation over the world.
+    pub fn new(world: &ShmemWorld) -> AllreduceWs {
+        let n = world.n_pes();
+        let rounds = if n.is_power_of_two() {
+            n.trailing_zeros() as usize
+        } else {
+            n.saturating_sub(1)
+        };
+        let rounds = rounds.max(1);
+        AllreduceWs {
+            slots: world.malloc("allreduce.slots", rounds),
+            sigs: world.signals(rounds, 0),
+            acks: world.signals(rounds, 0),
+            seq: 0,
+            n_pes: n,
+            rounds,
+        }
+    }
+
+    /// Number of communication rounds per allreduce call.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+/// All-reduce a scalar across every PE. Exactly one agent per PE must call
+/// this per "epoch"; all PEs receive the identical result.
+pub fn allreduce_scalar(
+    sh: &mut ShmemCtx,
+    ctx: &mut KernelCtx<'_>,
+    ws: &mut AllreduceWs,
+    value: f64,
+    op: ReduceOp,
+) -> f64 {
+    let n = ws.n_pes;
+    if n == 1 {
+        return value;
+    }
+    ws.seq += 1;
+    let me = sh.my_pe();
+    let scratch = ctx
+        .machine()
+        .alloc(ctx.device(), "allreduce.src", 1);
+    let mut acc = value;
+    if n.is_power_of_two() {
+        // Recursive doubling: at round k exchange with pe ^ 2^k.
+        for k in 0..ws.rounds {
+            let partner = me ^ (1 << k);
+            // Flow control: the partner must have consumed my previous
+            // epoch's value in this slot before I overwrite it.
+            sh.signal_wait_until(ctx, &ws.acks[k], Cmp::Ge, ws.seq - 1);
+            scratch.set(0, acc);
+            sh.putmem_signal_nbi(
+                ctx,
+                &ws.slots,
+                k,
+                &scratch,
+                0,
+                1,
+                &ws.sigs[k],
+                SignalOp::Set,
+                ws.seq,
+                partner,
+            );
+            sh.signal_wait_until(ctx, &ws.sigs[k], Cmp::Ge, ws.seq);
+            let theirs = ws.slots.local(me).get(k);
+            // Acknowledge consumption so the partner may reuse the slot.
+            sh.signal_op(ctx, &ws.acks[k], SignalOp::Set, ws.seq, partner);
+            // Fixed operand order: lower PE index on the left.
+            acc = if partner < me {
+                op.combine(theirs, acc)
+            } else {
+                op.combine(acc, theirs)
+            };
+        }
+        acc
+    } else {
+        // Ring: accumulate PE 0..n in order at every PE simultaneously —
+        // n-1 rounds, each PE forwards its running prefix to the right.
+        // Round r: receive prefix of values [0..=r] if it's my turn.
+        // Simple (and deterministic): everyone sends its ORIGINAL value
+        // around the ring; each PE accumulates in global PE order.
+        let mut values = vec![0.0f64; n];
+        values[me] = value;
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let mut forwarding = value;
+        for r in 0..n - 1 {
+            let slot = r.min(ws.rounds - 1);
+            // Flow control: my RIGHT neighbor must have consumed my
+            // previous write to this slot (ring has no inherent
+            // backpressure toward the writer).
+            sh.signal_wait_until(ctx, &ws.acks[slot], Cmp::Ge, ws.seq - 1);
+            scratch.set(0, forwarding);
+            sh.putmem_signal_nbi(
+                ctx,
+                &ws.slots,
+                slot,
+                &scratch,
+                0,
+                1,
+                &ws.sigs[slot],
+                SignalOp::Set,
+                ws.seq,
+                right,
+            );
+            sh.signal_wait_until(ctx, &ws.sigs[slot], Cmp::Ge, ws.seq);
+            let got = ws.slots.local(me).get(slot);
+            // Acknowledge to my LEFT neighbor (the slot's writer).
+            sh.signal_op(ctx, &ws.acks[slot], SignalOp::Set, ws.seq, left);
+            // The value received at round r originated at (me - r - 1) mod n.
+            let origin = (me + n - r - 1) % n;
+            values[origin] = got;
+            forwarding = got;
+        }
+        let mut acc = values[0];
+        for v in &values[1..] {
+            acc = op.combine(acc, *v);
+        }
+        acc
+    }
+}
+
+/// Broadcast `len` elements of `arr` from `root`'s copy to every PE.
+/// Exactly one agent per PE must call this; blocking.
+pub fn broadcast(
+    sh: &mut ShmemCtx,
+    ctx: &mut KernelCtx<'_>,
+    arr: &SymArray,
+    sig: &SymSignal,
+    epoch: u64,
+    root: usize,
+    len: usize,
+) {
+    let me = sh.my_pe();
+    if me == root {
+        for pe in 0..sh.n_pes() {
+            if pe == root {
+                continue;
+            }
+            let src = arr.local(root).clone();
+            sh.putmem_signal_nbi(ctx, arr, 0, &src, 0, len, sig, SignalOp::Set, epoch, pe);
+        }
+        sh.quiet(ctx);
+    } else {
+        sh.signal_wait_until(ctx, sig, Cmp::Ge, epoch);
+    }
+}
+
+/// Reference combine over a slice in the same fixed order the distributed
+/// allreduce uses — for bitwise verification of solver results.
+pub fn reference_reduce(values: &[f64], op: ReduceOp, power_of_two: bool) -> f64 {
+    let n = values.len();
+    if n == 1 {
+        return values[0];
+    }
+    if power_of_two && n.is_power_of_two() {
+        // Recursive doubling combines pairwise by blocks.
+        let mut vals = values.to_vec();
+        let mut stride = 1;
+        while stride < n {
+            let mut next = vals.clone();
+            for i in 0..n {
+                let partner = i ^ stride;
+                let (lo, hi) = if partner < i { (partner, i) } else { (i, partner) };
+                next[i] = op.combine(vals[lo], vals[hi]);
+            }
+            // All entries in a block of 2*stride now agree.
+            vals = next;
+            stride *= 2;
+        }
+        vals[0]
+    } else {
+        let mut acc = values[0];
+        for v in &values[1..] {
+            acc = op.combine(acc, *v);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{BlockGroup, CostModel, DevId, ExecMode, Machine};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn run_allreduce(n: usize, values: Vec<f64>, op: ReduceOp) -> Vec<f64> {
+        let machine = Machine::new(n, CostModel::a100_hgx(), ExecMode::Full);
+        let world = ShmemWorld::init(&machine);
+        let ws = AllreduceWs::new(&world);
+        let results = Arc::new(Mutex::new(vec![0.0; n]));
+        for pe in 0..n {
+            let world = world.clone();
+            let mut ws = ws.clone();
+            let value = values[pe];
+            let results = Arc::clone(&results);
+            machine.spawn_host(format!("rank{pe}"), move |host| {
+                let k = host.launch_cooperative(
+                    DevId(pe),
+                    "allreduce",
+                    1024,
+                    vec![BlockGroup::new("g", 1, move |kc| {
+                        let mut sh = ShmemCtx::new(&world, kc);
+                        let r = allreduce_scalar(&mut sh, kc, &mut ws, value, op);
+                        results.lock()[pe] = r;
+                    })],
+                );
+                host.wait_cooperative(&k);
+            });
+        }
+        machine.run().unwrap();
+        Arc::try_unwrap(results).unwrap().into_inner()
+    }
+
+    #[test]
+    fn allreduce_sum_power_of_two() {
+        let vals = vec![1.0, 2.5, -3.0, 10.0];
+        let out = run_allreduce(4, vals.clone(), ReduceOp::Sum);
+        let expect = reference_reduce(&vals, ReduceOp::Sum, true);
+        for (pe, r) in out.iter().enumerate() {
+            assert_eq!(*r, expect, "pe {pe}");
+        }
+        assert_eq!(expect, 10.5);
+    }
+
+    #[test]
+    fn allreduce_sum_eight_pes_identical_everywhere() {
+        let vals: Vec<f64> = (0..8).map(|i| (i as f64) * 0.1 + 1.0).collect();
+        let out = run_allreduce(8, vals.clone(), ReduceOp::Sum);
+        let expect = reference_reduce(&vals, ReduceOp::Sum, true);
+        assert!(out.iter().all(|r| *r == expect), "{out:?} != {expect}");
+    }
+
+    #[test]
+    fn allreduce_max_and_min() {
+        let vals = vec![3.0, -7.0, 11.0, 0.5];
+        let mx = run_allreduce(4, vals.clone(), ReduceOp::Max);
+        assert!(mx.iter().all(|r| *r == 11.0));
+        let mn = run_allreduce(4, vals, ReduceOp::Min);
+        assert!(mn.iter().all(|r| *r == -7.0));
+    }
+
+    #[test]
+    fn allreduce_ring_non_power_of_two() {
+        let vals = vec![1.0, 2.0, 4.0];
+        let out = run_allreduce(3, vals.clone(), ReduceOp::Sum);
+        let expect = reference_reduce(&vals, ReduceOp::Sum, false);
+        assert_eq!(expect, 7.0);
+        assert!(out.iter().all(|r| *r == expect), "{out:?}");
+    }
+
+    #[test]
+    fn allreduce_single_pe_is_identity() {
+        let out = run_allreduce(1, vec![42.0], ReduceOp::Sum);
+        assert_eq!(out, vec![42.0]);
+    }
+
+    #[test]
+    fn allreduce_reusable_across_epochs() {
+        // Two consecutive allreduces in one kernel: counters must not clash.
+        let n = 4;
+        let machine = Machine::new(n, CostModel::a100_hgx(), ExecMode::Full);
+        let world = ShmemWorld::init(&machine);
+        let ws = AllreduceWs::new(&world);
+        let results = Arc::new(Mutex::new(vec![(0.0, 0.0); n]));
+        for pe in 0..n {
+            let world = world.clone();
+            let mut ws = ws.clone();
+            let results = Arc::clone(&results);
+            machine.spawn_host(format!("rank{pe}"), move |host| {
+                let k = host.launch_cooperative(
+                    DevId(pe),
+                    "twice",
+                    1024,
+                    vec![BlockGroup::new("g", 1, move |kc| {
+                        let mut sh = ShmemCtx::new(&world, kc);
+                        let a = allreduce_scalar(&mut sh, kc, &mut ws, pe as f64, ReduceOp::Sum);
+                        let b =
+                            allreduce_scalar(&mut sh, kc, &mut ws, pe as f64 * 2.0, ReduceOp::Sum);
+                        results.lock()[pe] = (a, b);
+                    })],
+                );
+                host.wait_cooperative(&k);
+            });
+        }
+        machine.run().unwrap();
+        let out = results.lock();
+        assert!(out.iter().all(|&(a, b)| a == 6.0 && b == 12.0), "{out:?}");
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all() {
+        let n = 4;
+        let machine = Machine::new(n, CostModel::a100_hgx(), ExecMode::Full);
+        let world = ShmemWorld::init(&machine);
+        let arr = world.malloc("bcast", 8);
+        arr.local(2).write_slice(0, &[9.0; 8]); // root = 2
+        let sig = world.signal(0);
+        for pe in 0..n {
+            let world = world.clone();
+            let arr = arr.clone();
+            let sig = sig.clone();
+            machine.spawn_host(format!("rank{pe}"), move |host| {
+                let k = host.launch_cooperative(
+                    DevId(pe),
+                    "bcast",
+                    1024,
+                    vec![BlockGroup::new("g", 1, move |kc| {
+                        let mut sh = ShmemCtx::new(&world, kc);
+                        broadcast(&mut sh, kc, &arr, &sig, 1, 2, 8);
+                        assert_eq!(arr.local(pe).get(7), 9.0);
+                    })],
+                );
+                host.wait_cooperative(&k);
+            });
+        }
+        machine.run().unwrap();
+    }
+
+    #[test]
+    fn reference_reduce_matches_simple_sum_for_associative_ints() {
+        let vals: Vec<f64> = (1..=8).map(|v| v as f64).collect();
+        assert_eq!(reference_reduce(&vals, ReduceOp::Sum, true), 36.0);
+        assert_eq!(reference_reduce(&vals, ReduceOp::Sum, false), 36.0);
+    }
+}

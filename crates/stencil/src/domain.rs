@@ -1,0 +1,242 @@
+//! The distributed stencil domain: slab-decomposed ping-pong grids with
+//! halo layers, the §4.1.1 halo signals, initialization, extraction,
+//! gathering and verification — dimension-agnostic via [`Geometry`].
+
+use crate::config::{Slab, StencilConfig, Workload};
+use crate::geometry::{geometry_of, Geometry};
+use crate::grid;
+use cpufree_core::RunStats;
+use gpu_sim::{CostModel, ExecMode, KernelCtx, Machine};
+use nvshmem_sim::{ShmemWorld, SymArray, SymSignal};
+use sim_des::{Category, SimDur, SimTime};
+use std::sync::Arc;
+
+/// The distributed domain: two generations of slab-local grids (one halo
+/// layer each side) plus the per-PE halo signal cells.
+pub struct Domain {
+    /// The experiment configuration.
+    pub cfg: StencilConfig,
+    /// Stencil dimensionality specifics.
+    pub geo: Arc<dyn Geometry>,
+    /// Slab decomposition of the interior layers.
+    pub slab: Slab,
+    /// The simulated node.
+    pub machine: Machine,
+    /// NVSHMEM world (PE numbering + symmetric heap).
+    pub world: ShmemWorld,
+    /// Ping-pong generations; iteration `t` (1-based) reads
+    /// `gen[(t+1)%2]` and writes `gen[t%2]`.
+    pub gen: [SymArray; 2],
+    /// Signal set by the LOW neighbor (pe-1) when it commits my low halo.
+    pub sig_from_low: SymSignal,
+    /// Signal set by the HIGH neighbor (pe+1) when it commits my high halo.
+    pub sig_from_high: SymSignal,
+}
+
+impl Domain {
+    /// Allocate and initialize the domain on a fresh machine with the
+    /// default A100 cost model.
+    pub fn new(cfg: &StencilConfig) -> Domain {
+        let cost = cfg.cost.clone().unwrap_or_else(CostModel::a100_hgx);
+        let machine = Machine::new(cfg.n_gpus, cost, cfg.exec);
+        Domain::on_machine(cfg, machine)
+    }
+
+    /// Allocate on an existing machine (custom cost models in benches).
+    pub fn on_machine(cfg: &StencilConfig, machine: Machine) -> Domain {
+        cfg.validate();
+        let geo = geometry_of(cfg);
+        let slab = cfg.slab();
+        let world = ShmemWorld::init(&machine);
+        let local_len = (slab.max_layers() + 2) * geo.layer_elems();
+        let gen = [
+            world.malloc("grid.a", local_len),
+            world.malloc("grid.b", local_len),
+        ];
+        let dom = Domain {
+            cfg: cfg.clone(),
+            geo,
+            slab,
+            machine,
+            sig_from_low: world.signal(0),
+            sig_from_high: world.signal(0),
+            world,
+            gen,
+        };
+        dom.initialize();
+        dom
+    }
+
+    /// Fill both generations of every PE from the global initial condition.
+    fn initialize(&self) {
+        if self.cfg.exec == ExecMode::TimingOnly {
+            // Buffers are virtual; skip building the (possibly huge) init.
+            return;
+        }
+        let le = self.geo.layer_elems();
+        let init = self.geo.init();
+        for pe in 0..self.cfg.n_gpus {
+            let start = self.slab.start(pe);
+            let layers = self.layers(pe);
+            // Local layer l (0..layers+2) maps to global layer start + l.
+            let src = &init[start * le..(start + layers + 2) * le];
+            for g in &self.gen {
+                g.local(pe).write_slice(0, src);
+            }
+        }
+    }
+
+    /// Number of owned interior layers on `pe`.
+    pub fn layers(&self, pe: usize) -> usize {
+        self.slab.layers(pe)
+    }
+
+    /// Elements per layer.
+    pub fn layer_elems(&self) -> usize {
+        self.geo.layer_elems()
+    }
+
+    /// The per-PE workload arithmetic.
+    pub fn workload(&self, pe: usize) -> Workload {
+        self.geo.workload(self.layers(pe), self.cfg.no_compute)
+    }
+
+    /// Element offset of the first owned layer.
+    pub fn first_layer_off(&self) -> usize {
+        self.layer_elems()
+    }
+
+    /// Element offset of the last owned layer on `pe`.
+    pub fn last_layer_off(&self, pe: usize) -> usize {
+        self.layers(pe) * self.layer_elems()
+    }
+
+    /// Element offset of `pe`'s LOW halo layer (written by pe-1).
+    pub fn low_halo_off(&self) -> usize {
+        0
+    }
+
+    /// Element offset of `pe`'s HIGH halo layer (written by pe+1).
+    pub fn high_halo_off(&self, pe: usize) -> usize {
+        (self.layers(pe) + 1) * self.layer_elems()
+    }
+
+    /// The generation read at iteration `t` (1-based).
+    pub fn read_gen(&self, t: u64) -> &SymArray {
+        &self.gen[((t + 1) % 2) as usize]
+    }
+
+    /// The generation written at iteration `t` (1-based).
+    pub fn write_gen(&self, t: u64) -> &SymArray {
+        &self.gen[(t % 2) as usize]
+    }
+
+    /// The generation holding the final field after all iterations.
+    pub fn final_gen(&self) -> &SymArray {
+        &self.gen[(self.cfg.iterations % 2) as usize]
+    }
+
+    /// Extract each PE's owned interior layers from the final generation.
+    pub fn extract_owned(&self) -> Vec<Vec<f64>> {
+        let le = self.layer_elems();
+        (0..self.cfg.n_gpus)
+            .map(|pe| {
+                let layers = self.layers(pe);
+                let mut out = vec![0.0; layers * le];
+                self.final_gen().local(pe).read_slice(le, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// Assemble the full global grid from owned regions + fixed boundary.
+    pub fn gather(&self) -> Vec<f64> {
+        let le = self.layer_elems();
+        let mut full = self.geo.init();
+        for (pe, owned) in self.extract_owned().iter().enumerate() {
+            let start = self.slab.start(pe);
+            full[(start + 1) * le..(start + 1 + self.layers(pe)) * le].copy_from_slice(owned);
+        }
+        full
+    }
+
+    /// Max abs deviation of the multi-GPU result from the sequential
+    /// reference (only meaningful in [`ExecMode::Full`]).
+    pub fn verify(&self) -> f64 {
+        assert_eq!(
+            self.cfg.exec,
+            ExecMode::Full,
+            "verification requires ExecMode::Full"
+        );
+        let reference = self.geo.reference(self.cfg.iterations);
+        grid::max_abs_diff(&self.gather(), &reference)
+    }
+}
+
+/// Outcome of one variant run.
+#[derive(Debug, Clone)]
+pub struct Executed {
+    /// End-to-end virtual time.
+    pub total: SimDur,
+    /// Trace-derived measurements.
+    pub stats: RunStats,
+    /// Deviation from the sequential reference (`None` in timing-only runs).
+    pub max_err: Option<f64>,
+    /// Order-sensitive checksum of the final field (determinism tests).
+    pub checksum: u64,
+    /// The full span trace (timeline rendering, custom analyses).
+    pub trace: sim_des::Trace,
+}
+
+impl Executed {
+    /// Collect results after `machine.run()` returned `end`.
+    pub fn collect(dom: &Domain, end: SimTime) -> Executed {
+        let total = end.since(SimTime::ZERO);
+        let trace = dom.machine.trace();
+        let stats = RunStats::from_trace(&trace, total, dom.cfg.iterations);
+        let max_err =
+            (dom.cfg.exec == ExecMode::Full && !dom.cfg.no_compute).then(|| dom.verify());
+        let mut checksum = 0u64;
+        for pe in 0..dom.cfg.n_gpus {
+            checksum = checksum
+                .wrapping_mul(1_000_003)
+                .wrapping_add(dom.final_gen().local(pe).checksum());
+        }
+        Executed {
+            total,
+            stats,
+            max_err,
+            checksum,
+            trace,
+        }
+    }
+
+    /// Per-iteration time.
+    pub fn per_iter(&self) -> SimDur {
+        self.stats.per_iter
+    }
+}
+
+/// Charge a compute phase and run the functional sweep when appropriate.
+///
+/// `points` at `fraction` of the device; `read_scale` models PERKS caching;
+/// `penalty` models cooperative software tiling.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_phase(
+    k: &mut KernelCtx<'_>,
+    w: &Workload,
+    points: u64,
+    fraction: f64,
+    read_scale: f64,
+    penalty: f64,
+    label: &str,
+    sweep: impl FnOnce(),
+) {
+    let dur = w.sweep_dur(k.cost(), points, fraction, read_scale, penalty);
+    if dur > SimDur::ZERO {
+        k.busy(Category::Compute, label, dur);
+    }
+    if k.exec_mode() == ExecMode::Full && !w.no_compute {
+        sweep();
+    }
+}

@@ -1,0 +1,483 @@
+//! 2D **grid** decomposition of the 2D5pt Jacobi stencil — the handwritten
+//! counterpart of the DaCe Jacobi-2D benchmark: every PE has up to four
+//! neighbors, north/south halos are contiguous rows (put-with-signal) and
+//! west/east halos are **strided columns** exchanged with `iput` + manual
+//! signal (§5.3.1's no-combined-variant path), all device-initiated.
+//!
+//! Design note: unlike the slab solver's independent per-direction comm
+//! groups, the boundary ring here is computed by ONE comm group per PE.
+//! With four directions the corner-adjacent points of each strip read TWO
+//! halos (e.g. point (1,1) reads both the north halo row and the west halo
+//! column), so independent per-direction groups would need extra
+//! cross-group ordering to keep a neighbor's next-iteration overwrite from
+//! racing a sibling group's read. A single ring group preserves the
+//! §4.1.1 semaphore flow-control argument unchanged: every signal a PE
+//! sends certifies that it has consumed ALL the halos feeding that ring.
+
+use crate::config::Workload;
+use crate::grid;
+use cpufree_core::{launch_cpu_free, RunStats, TbAllocation};
+use gpu_sim::{BlockGroup, CostModel, DevId, ExecMode, KernelCtx, Machine};
+use nvshmem_sim::{ShmemCtx, ShmemWorld, SymArray, SymSignal};
+use sim_des::{Category, Cmp, SignalOp, SimDur, SimTime};
+use std::sync::Arc;
+
+/// Configuration of a 2D-grid-decomposed stencil experiment.
+#[derive(Debug, Clone)]
+pub struct Grid2DConfig {
+    /// Interior rows per PE.
+    pub rows: usize,
+    /// Interior columns per PE.
+    pub cols: usize,
+    /// Process grid (PE rows × PE columns); `pr * pc` PEs total.
+    pub pgrid: (usize, usize),
+    /// Time steps.
+    pub iterations: u64,
+    /// Functional or timing-only execution.
+    pub exec: ExecMode,
+}
+
+impl Grid2DConfig {
+    /// Construct and validate.
+    pub fn new(rows: usize, cols: usize, pgrid: (usize, usize), iterations: u64) -> Grid2DConfig {
+        assert!(rows >= 2 && cols >= 2, "each PE needs a 2x2 interior");
+        assert!(pgrid.0 >= 1 && pgrid.1 >= 1);
+        Grid2DConfig {
+            rows,
+            cols,
+            pgrid,
+            iterations,
+            exec: ExecMode::Full,
+        }
+    }
+
+    /// Builder-style: timing-only execution.
+    pub fn timing_only(mut self) -> Self {
+        self.exec = ExecMode::TimingOnly;
+        self
+    }
+
+    /// Number of PEs.
+    pub fn n_pes(&self) -> usize {
+        self.pgrid.0 * self.pgrid.1
+    }
+
+    /// Global grid extents (rows, cols) including the fixed boundary.
+    pub fn global(&self) -> (usize, usize) {
+        (self.pgrid.0 * self.rows + 2, self.pgrid.1 * self.cols + 2)
+    }
+
+    fn coords(&self, pe: usize) -> (usize, usize) {
+        (pe / self.pgrid.1, pe % self.pgrid.1)
+    }
+}
+
+/// The four neighbor directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    North,
+    South,
+    West,
+    East,
+}
+
+struct Neighbors {
+    north: Option<usize>,
+    south: Option<usize>,
+    west: Option<usize>,
+    east: Option<usize>,
+}
+
+fn neighbors(cfg: &Grid2DConfig, pe: usize) -> Neighbors {
+    let (pr, pc) = cfg.pgrid;
+    let (i, j) = cfg.coords(pe);
+    Neighbors {
+        north: (i > 0).then(|| pe - pc),
+        south: (i + 1 < pr).then(|| pe + pc),
+        west: (j > 0).then(|| pe - 1),
+        east: (j + 1 < pc).then(|| pe + 1),
+    }
+}
+
+/// Result of a grid-decomposed run.
+#[derive(Debug)]
+pub struct Grid2DRun {
+    /// End-to-end virtual time.
+    pub total: SimDur,
+    /// Trace-derived measurements.
+    pub stats: RunStats,
+    /// Max abs deviation from the sequential reference (`None` when
+    /// timing-only).
+    pub max_err: Option<f64>,
+}
+
+struct Dom {
+    cfg: Grid2DConfig,
+    machine: Machine,
+    world: ShmemWorld,
+    gen: [SymArray; 2],
+    sig: [SymSignal; 4], // indexed by Dir as written below
+}
+
+impl Dom {
+    fn sig_of(&self, d: Dir) -> &SymSignal {
+        &self.sig[match d {
+            Dir::North => 0,
+            Dir::South => 1,
+            Dir::West => 2,
+            Dir::East => 3,
+        }]
+    }
+
+    fn new(cfg: &Grid2DConfig) -> Dom {
+        let machine = Machine::new(cfg.n_pes(), CostModel::a100_hgx(), cfg.exec);
+        let world = ShmemWorld::init(&machine);
+        let w = cfg.cols + 2;
+        let len = (cfg.rows + 2) * w;
+        let gen = [world.malloc("g2d.a", len), world.malloc("g2d.b", len)];
+        let sig = [
+            world.signal(0),
+            world.signal(0),
+            world.signal(0),
+            world.signal(0),
+        ];
+        let dom = Dom {
+            cfg: cfg.clone(),
+            machine,
+            world,
+            gen,
+            sig,
+        };
+        dom.initialize();
+        dom
+    }
+
+    fn initialize(&self) {
+        if self.cfg.exec == ExecMode::TimingOnly {
+            return;
+        }
+        let (gr, gc) = self.cfg.global();
+        let init = grid::init2d(gc, gr);
+        let w = self.cfg.cols + 2;
+        for pe in 0..self.cfg.n_pes() {
+            let (pi, pj) = self.cfg.coords(pe);
+            let mut local = vec![0.0; (self.cfg.rows + 2) * w];
+            for i in 0..self.cfg.rows + 2 {
+                for j in 0..w {
+                    local[i * w + j] = init[(pi * self.cfg.rows + i) * gc + pj * self.cfg.cols + j];
+                }
+            }
+            for g in &self.gen {
+                g.local(pe).write_slice(0, &local);
+            }
+        }
+    }
+
+    fn read_gen(&self, t: u64) -> &SymArray {
+        &self.gen[((t + 1) % 2) as usize]
+    }
+
+    fn write_gen(&self, t: u64) -> &SymArray {
+        &self.gen[(t % 2) as usize]
+    }
+
+    fn verify(&self) -> f64 {
+        let (gr, gc) = self.cfg.global();
+        let reference = grid::reference2d(gc, gr, self.cfg.iterations);
+        let w = self.cfg.cols + 2;
+        let finals = &self.gen[(self.cfg.iterations % 2) as usize];
+        let mut worst = 0.0f64;
+        for pe in 0..self.cfg.n_pes() {
+            let (pi, pj) = self.cfg.coords(pe);
+            let local = finals.local(pe).to_vec();
+            for i in 1..=self.cfg.rows {
+                for j in 1..=self.cfg.cols {
+                    let gidx = (pi * self.cfg.rows + i) * gc + pj * self.cfg.cols + j;
+                    worst = worst.max((local[i * w + j] - reference[gidx]).abs());
+                }
+            }
+        }
+        worst
+    }
+
+    fn collect(&self, end: SimTime) -> Grid2DRun {
+        let total = end.since(SimTime::ZERO);
+        let stats = RunStats::from_trace(&self.machine.trace(), total, self.cfg.iterations);
+        let max_err = (self.cfg.exec == ExecMode::Full).then(|| self.verify());
+        Grid2DRun {
+            total,
+            stats,
+            max_err,
+        }
+    }
+}
+
+/// The device-side halo exchange + ring compute of one iteration.
+#[allow(clippy::too_many_arguments)]
+fn ring_iteration(
+    k: &mut KernelCtx<'_>,
+    sh: &mut ShmemCtx,
+    dom: &Dom,
+    pe: usize,
+    nb: &Neighbors,
+    wload: &Workload,
+    ring_frac: f64,
+    t: u64,
+) {
+    let (rows, cols) = (dom.cfg.rows, dom.cfg.cols);
+    let w = cols + 2;
+    // ① Wait for every existing neighbor's halo of the previous step.
+    if nb.north.is_some() {
+        sh.signal_wait_until(k, dom.sig_of(Dir::North), Cmp::Ge, t - 1);
+    }
+    if nb.south.is_some() {
+        sh.signal_wait_until(k, dom.sig_of(Dir::South), Cmp::Ge, t - 1);
+    }
+    if nb.west.is_some() {
+        sh.signal_wait_until(k, dom.sig_of(Dir::West), Cmp::Ge, t - 1);
+    }
+    if nb.east.is_some() {
+        sh.signal_wait_until(k, dom.sig_of(Dir::East), Cmp::Ge, t - 1);
+    }
+    // ② Compute the boundary ring.
+    let ring_points = (2 * cols + 2 * rows.saturating_sub(2)) as u64;
+    let read = dom.read_gen(t).local(pe).clone();
+    let write = dom.write_gen(t).local(pe).clone();
+    let dur = wload.sweep_dur(k.cost(), ring_points, ring_frac.max(0.01), 1.0, 1.0);
+    if dur > SimDur::ZERO {
+        k.busy(Category::Compute, "ring", dur);
+    }
+    if k.exec_mode() == ExecMode::Full {
+        read.with(|src| {
+            write.with_mut(|dst| {
+                grid::sweep2d_rect(src, dst, w, (1, 1), (1, cols));
+                grid::sweep2d_rect(src, dst, w, (rows, rows), (1, cols));
+                grid::sweep2d_rect(src, dst, w, (2, rows - 1), (1, 1));
+                grid::sweep2d_rect(src, dst, w, (2, rows - 1), (cols, cols));
+            })
+        });
+    }
+    // ③ Commit halos to the neighbors and signal.
+    let wg = dom.write_gen(t);
+    if let Some(n) = nb.north {
+        // My row 1 -> north's south halo (row rows+1); I am its SOUTH side.
+        sh.putmem_signal_nbi(
+            k,
+            wg,
+            (rows + 1) * w + 1,
+            wg.local(pe),
+            w + 1,
+            cols,
+            dom.sig_of(Dir::South),
+            SignalOp::Set,
+            t,
+            n,
+        );
+    }
+    if let Some(s) = nb.south {
+        sh.putmem_signal_nbi(
+            k,
+            wg,
+            1,
+            wg.local(pe),
+            rows * w + 1,
+            cols,
+            dom.sig_of(Dir::North),
+            SignalOp::Set,
+            t,
+            s,
+        );
+    }
+    if let Some(west) = nb.west {
+        // Strided column: iput + quiet + manual signal (§5.3.1).
+        sh.iput(k, wg, w + (cols + 1), w, wg.local(pe), w + 1, w, rows, west);
+        sh.quiet(k);
+        sh.signal_op(k, dom.sig_of(Dir::East), SignalOp::Set, t, west);
+    }
+    if let Some(east) = nb.east {
+        sh.iput(k, wg, w, w, wg.local(pe), w + cols, w, rows, east);
+        sh.quiet(k);
+        sh.signal_op(k, dom.sig_of(Dir::West), SignalOp::Set, t, east);
+    }
+}
+
+/// CPU-Free 2D-grid-decomposed Jacobi: one persistent kernel per PE with a
+/// boundary-ring comm group and an inner group.
+pub fn run_grid2d_cpu_free(cfg: &Grid2DConfig) -> Grid2DRun {
+    let dom = Arc::new(Dom::new(cfg));
+    let tb_total = dom.machine.spec().sm_count as u64;
+    let dom_l = Arc::clone(&dom);
+    let end = launch_cpu_free(&dom.machine.clone(), "grid2d", 1024, move |pe| {
+        let dom = Arc::clone(&dom_l);
+        let cfg = dom.cfg.clone();
+        let nb = neighbors(&cfg, pe);
+        let wload = Workload::jacobi2d(cfg.cols + 2, cfg.rows, false);
+        let ring_points = (2 * cfg.cols + 2 * cfg.rows.saturating_sub(2)) as u64;
+        let inner_points = (cfg.rows * cfg.cols) as u64 - ring_points;
+        let alloc = TbAllocation::proportional(tb_total, inner_points, ring_points / 2);
+        let ring_frac = 2.0 * alloc.boundary_fraction();
+        let inner_frac = alloc.inner_fraction();
+        let dom_ring = Arc::clone(&dom);
+        let dom_inner = Arc::clone(&dom);
+        vec![
+            BlockGroup::new("ring", 2 * alloc.boundary_tbs, move |k| {
+                let world = dom_ring.world.clone();
+                let mut sh = ShmemCtx::new(&world, k);
+                let wload = wload;
+                for t in 1..=dom_ring.cfg.iterations {
+                    ring_iteration(k, &mut sh, &dom_ring, pe, &nb, &wload, ring_frac, t);
+                    k.grid_sync();
+                }
+            }),
+            BlockGroup::new("inner", alloc.inner_tbs, move |k| {
+                let cfg = dom_inner.cfg.clone();
+                let w = cfg.cols + 2;
+                let wload = Workload::jacobi2d(w, cfg.rows, false);
+                for t in 1..=cfg.iterations {
+                    let read = dom_inner.read_gen(t).local(pe).clone();
+                    let write = dom_inner.write_gen(t).local(pe).clone();
+                    let dur =
+                        wload.sweep_dur(k.cost(), inner_points, inner_frac.max(0.01), 1.0, 1.0);
+                    if dur > SimDur::ZERO {
+                        k.busy(Category::Compute, "inner", dur);
+                    }
+                    if k.exec_mode() == ExecMode::Full {
+                        grid::sweep2d_rect_buf(
+                            &read,
+                            &write,
+                            w,
+                            (2, cfg.rows - 1),
+                            (2, cfg.cols - 1),
+                        );
+                    }
+                    k.grid_sync();
+                }
+            }),
+        ]
+    })
+    .expect("grid2d cpu-free run failed");
+    dom.collect(end)
+}
+
+/// CPU-controlled comparison: the same exchange in discrete kernels — one
+/// compute+put kernel and one wait kernel per time step, host-launched.
+pub fn run_grid2d_baseline(cfg: &Grid2DConfig) -> Grid2DRun {
+    let dom = Arc::new(Dom::new(cfg));
+    let n = cfg.n_pes();
+    for pe in 0..n {
+        let dom = Arc::clone(&dom);
+        dom.machine
+            .clone()
+            .spawn_host(format!("rank{pe}"), move |host| {
+                let stream = host.create_stream(DevId(pe), "comp");
+                let cfg = dom.cfg.clone();
+                let nb = Arc::new(neighbors(&cfg, pe));
+                let w = cfg.cols + 2;
+                let wload = Workload::jacobi2d(w, cfg.rows, false);
+                let ring_points = (2 * cfg.cols + 2 * cfg.rows.saturating_sub(2)) as u64;
+                let inner_points = (cfg.rows * cfg.cols) as u64 - ring_points;
+                for t in 1..=cfg.iterations {
+                    let dom2 = Arc::clone(&dom);
+                    let nb2 = Arc::clone(&nb);
+                    host.launch(&stream, "jacobi_grid", move |k| {
+                        let world = dom2.world.clone();
+                        let mut sh = ShmemCtx::new(&world, k);
+                        // Boundary ring + puts (whole device, discrete).
+                        ring_iteration(k, &mut sh, &dom2, pe, &nb2, &wload, 1.0, t);
+                        // Inner region.
+                        let pen = k.cost().discrete_cache_penalty;
+                        let dur = wload.sweep_dur(k.cost(), inner_points, 1.0, 1.0, pen);
+                        if dur > SimDur::ZERO {
+                            k.busy(Category::Compute, "inner", dur);
+                        }
+                        if k.exec_mode() == ExecMode::Full {
+                            let read = dom2.read_gen(t).local(pe).clone();
+                            let write = dom2.write_gen(t).local(pe).clone();
+                            grid::sweep2d_rect_buf(
+                                &read,
+                                &write,
+                                w,
+                                (2, cfg.rows - 1),
+                                (2, cfg.cols - 1),
+                            );
+                        }
+                    });
+                    host.sync_stream(&stream);
+                }
+            });
+    }
+    let end = dom.machine.run().expect("grid2d baseline run failed");
+    dom.collect(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_of_grid_positions() {
+        let cfg = Grid2DConfig::new(4, 4, (2, 3), 1);
+        let nb0 = neighbors(&cfg, 0); // top-left
+        assert_eq!(
+            (nb0.north, nb0.south, nb0.west, nb0.east),
+            (None, Some(3), None, Some(1))
+        );
+        let nb4 = neighbors(&cfg, 4); // bottom-middle
+        assert_eq!(
+            (nb4.north, nb4.south, nb4.west, nb4.east),
+            (Some(1), None, Some(3), Some(5))
+        );
+    }
+
+    #[test]
+    fn cpu_free_grid2d_exact_2x2() {
+        let cfg = Grid2DConfig::new(6, 7, (2, 2), 8);
+        let out = run_grid2d_cpu_free(&cfg);
+        assert_eq!(out.max_err, Some(0.0));
+    }
+
+    #[test]
+    fn cpu_free_grid2d_exact_rectangular() {
+        for pgrid in [(1usize, 2usize), (2, 1), (2, 4), (3, 2)] {
+            let cfg = Grid2DConfig::new(5, 4, pgrid, 6);
+            let out = run_grid2d_cpu_free(&cfg);
+            assert_eq!(out.max_err, Some(0.0), "pgrid {pgrid:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_grid2d_exact() {
+        let cfg = Grid2DConfig::new(6, 6, (2, 2), 7);
+        let out = run_grid2d_baseline(&cfg);
+        assert_eq!(out.max_err, Some(0.0));
+    }
+
+    #[test]
+    fn single_pe_grid2d() {
+        let cfg = Grid2DConfig::new(8, 8, (1, 1), 5);
+        let out = run_grid2d_cpu_free(&cfg);
+        assert_eq!(out.max_err, Some(0.0));
+    }
+
+    #[test]
+    fn cpu_free_beats_baseline_grid2d() {
+        let cfg = Grid2DConfig::new(64, 64, (2, 2), 30).timing_only();
+        let free = run_grid2d_cpu_free(&cfg);
+        let base = run_grid2d_baseline(&cfg);
+        assert!(
+            free.total < base.total,
+            "cpu-free {} vs baseline {}",
+            free.total,
+            base.total
+        );
+    }
+
+    #[test]
+    fn odd_even_iterations_grid2d() {
+        for iters in [1u64, 2, 3] {
+            let cfg = Grid2DConfig::new(4, 5, (2, 2), iters);
+            let out = run_grid2d_cpu_free(&cfg);
+            assert_eq!(out.max_err, Some(0.0), "iters {iters}");
+        }
+    }
+}

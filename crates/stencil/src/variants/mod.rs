@@ -1,0 +1,70 @@
+//! All code variants of §6.1.1, behind one dispatch enum.
+
+pub mod baselines;
+pub mod cpufree;
+
+use crate::config::StencilConfig;
+use crate::domain::Executed;
+
+/// The code variants compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Baseline Copy: host memcpy halo exchange, no explicit overlap.
+    BaselineCopy,
+    /// Baseline Copy Overlap: boundary computed in a concurrent stream.
+    BaselineOverlap,
+    /// Baseline P2P: device direct load/store comm, host synchronization.
+    BaselineP2P,
+    /// Baseline NVSHMEM: device NVSHMEM comm in CPU-launched discrete
+    /// kernels, plus a dedicated sync kernel.
+    BaselineNvshmem,
+    /// CPU-Free (§4): persistent kernel, TB specialization, device sync.
+    CpuFree,
+    /// CPU-Free with the PERKS cached inner kernel.
+    CpuFreePerks,
+    /// Ablation: CPU-Free with two co-resident kernels (alternative design).
+    CpuFreeDual,
+    /// Ablation: CPU-Free with a naive fixed 1-block boundary split.
+    CpuFreeFixedSplit,
+}
+
+impl Variant {
+    /// Display name matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::BaselineCopy => "Baseline Copy",
+            Variant::BaselineOverlap => "Baseline Copy Overlap",
+            Variant::BaselineP2P => "Baseline P2P",
+            Variant::BaselineNvshmem => "Baseline NVSHMEM",
+            Variant::CpuFree => "CPU-Free",
+            Variant::CpuFreePerks => "CPU-Free (PERKS)",
+            Variant::CpuFreeDual => "CPU-Free (dual kernel)",
+            Variant::CpuFreeFixedSplit => "CPU-Free (fixed split)",
+        }
+    }
+
+    /// The variants plotted in Fig 6.1/6.2.
+    pub fn paper_set() -> [Variant; 5] {
+        [
+            Variant::BaselineCopy,
+            Variant::BaselineOverlap,
+            Variant::BaselineP2P,
+            Variant::BaselineNvshmem,
+            Variant::CpuFree,
+        ]
+    }
+
+    /// Run the variant on a configuration.
+    pub fn run(self, cfg: &StencilConfig) -> Executed {
+        match self {
+            Variant::BaselineCopy => baselines::run_copy(cfg),
+            Variant::BaselineOverlap => baselines::run_overlap(cfg),
+            Variant::BaselineP2P => baselines::run_p2p(cfg),
+            Variant::BaselineNvshmem => baselines::run_nvshmem(cfg),
+            Variant::CpuFree => cpufree::run_cpu_free(cfg),
+            Variant::CpuFreePerks => cpufree::run_cpu_free_perks(cfg),
+            Variant::CpuFreeDual => cpufree::run_cpu_free_dual(cfg),
+            Variant::CpuFreeFixedSplit => cpufree::run_cpu_free_fixed_split(cfg),
+        }
+    }
+}

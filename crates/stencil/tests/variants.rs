@@ -1,0 +1,179 @@
+//! Cross-variant correctness and shape tests for the stencil workloads.
+
+use sim_des::SimDur;
+use stencil_lab::{StencilConfig, Variant};
+
+/// A small fully-verifiable 2D configuration.
+fn small2d(n_gpus: usize) -> StencilConfig {
+    StencilConfig::square2d(34, 9, n_gpus)
+}
+
+/// A small fully-verifiable 3D configuration.
+fn small3d(n_gpus: usize) -> StencilConfig {
+    StencilConfig::cube3d(18, 18, 18, 8, n_gpus)
+}
+
+#[test]
+fn all_variants_produce_exact_2d_results() {
+    for v in [
+        Variant::BaselineCopy,
+        Variant::BaselineOverlap,
+        Variant::BaselineP2P,
+        Variant::BaselineNvshmem,
+        Variant::CpuFree,
+        Variant::CpuFreePerks,
+        Variant::CpuFreeDual,
+        Variant::CpuFreeFixedSplit,
+    ] {
+        let out = v.run(&small2d(4));
+        assert_eq!(
+            out.max_err,
+            Some(0.0),
+            "{} deviates from the reference",
+            v.label()
+        );
+    }
+}
+
+#[test]
+fn all_variants_produce_exact_3d_results() {
+    for v in [
+        Variant::BaselineCopy,
+        Variant::BaselineOverlap,
+        Variant::BaselineP2P,
+        Variant::BaselineNvshmem,
+        Variant::CpuFree,
+        Variant::CpuFreePerks,
+        Variant::CpuFreeDual,
+    ] {
+        let out = v.run(&small3d(3));
+        assert_eq!(
+            out.max_err,
+            Some(0.0),
+            "{} deviates from the reference (3D)",
+            v.label()
+        );
+    }
+}
+
+#[test]
+fn variants_agree_on_single_gpu_too() {
+    for v in [Variant::BaselineCopy, Variant::CpuFree] {
+        let out = v.run(&small2d(1));
+        assert_eq!(out.max_err, Some(0.0), "{}", v.label());
+    }
+}
+
+#[test]
+fn odd_and_even_iteration_counts_verify() {
+    for iters in [1u64, 2, 5, 6] {
+        let mut cfg = small2d(4);
+        cfg.iterations = iters;
+        let out = Variant::CpuFree.run(&cfg);
+        assert_eq!(out.max_err, Some(0.0), "iters={iters}");
+    }
+}
+
+#[test]
+fn uneven_slab_split_verifies() {
+    // 32 interior rows over 5 GPUs: 7,7,6,6,6.
+    let cfg = StencilConfig::square2d(34, 6, 5);
+    for v in [Variant::BaselineNvshmem, Variant::CpuFree] {
+        let out = v.run(&cfg);
+        assert_eq!(out.max_err, Some(0.0), "{}", v.label());
+    }
+}
+
+#[test]
+fn cpu_free_beats_cpu_controlled_on_small_domains() {
+    let cfg = small2d(4).timing_only();
+    let base = Variant::BaselineOverlap.run(&cfg);
+    let free = Variant::CpuFree.run(&cfg);
+    assert!(
+        free.total.as_nanos() * 2 < base.total.as_nanos(),
+        "CPU-Free {} should be far below Baseline Overlap {}",
+        free.total,
+        base.total
+    );
+}
+
+#[test]
+fn nvshmem_baseline_between_copy_and_cpu_free() {
+    let cfg = small2d(4).timing_only();
+    let copy = Variant::BaselineCopy.run(&cfg);
+    let nvshmem = Variant::BaselineNvshmem.run(&cfg);
+    let free = Variant::CpuFree.run(&cfg);
+    assert!(nvshmem.total < copy.total, "NVSHMEM beats Copy");
+    assert!(free.total < nvshmem.total, "CPU-Free beats NVSHMEM");
+}
+
+#[test]
+fn timing_only_matches_full_mode_time() {
+    let full = Variant::CpuFree.run(&small2d(4));
+    let timing = Variant::CpuFree.run(&small2d(4).timing_only());
+    assert_eq!(
+        full.total, timing.total,
+        "exec mode must not affect virtual time"
+    );
+}
+
+#[test]
+fn no_compute_strips_compute_from_trace() {
+    let cfg = small2d(4).without_compute();
+    let out = Variant::CpuFree.run(&cfg);
+    assert_eq!(out.stats.compute_busy, SimDur::ZERO);
+    assert!(out.total.as_nanos() > 0);
+}
+
+#[test]
+fn determinism_across_repeated_runs() {
+    for v in [Variant::BaselineOverlap, Variant::CpuFree] {
+        let a = v.run(&small2d(4));
+        let b = v.run(&small2d(4));
+        assert_eq!(a.total, b.total, "{}", v.label());
+        assert_eq!(a.checksum, b.checksum, "{}", v.label());
+    }
+}
+
+#[test]
+fn dual_design_performance_close_to_single() {
+    // The paper observed no significant difference between the designs.
+    let cfg = small2d(4).timing_only();
+    let single = Variant::CpuFree.run(&cfg);
+    let dual = Variant::CpuFreeDual.run(&cfg);
+    let ratio = dual.total.as_nanos() as f64 / single.total.as_nanos() as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "dual/single per-iteration ratio out of range: {ratio}"
+    );
+}
+
+#[test]
+fn overlap_ratio_higher_for_cpu_free() {
+    // Fig 2.2b: CPU-Free hides almost all communication; the overlap
+    // baseline struggles. Use a medium-ish grid so compute exists.
+    let cfg = StencilConfig::square2d(130, 20, 4).timing_only();
+    let base = Variant::BaselineOverlap.run(&cfg);
+    let free = Variant::CpuFree.run(&cfg);
+    assert!(
+        free.stats.comm_overlap_ratio >= base.stats.comm_overlap_ratio,
+        "cpu-free overlap {} < baseline overlap {}",
+        free.stats.comm_overlap_ratio,
+        base.stats.comm_overlap_ratio
+    );
+}
+
+#[test]
+fn perks_faster_on_saturated_domains() {
+    // Oversaturated per-GPU chunk: PERKS avoids the tiling penalty and
+    // cuts read traffic.
+    let cfg = StencilConfig::square2d(2050, 4, 2).timing_only();
+    let plain = Variant::CpuFree.run(&cfg);
+    let perks = Variant::CpuFreePerks.run(&cfg);
+    assert!(
+        perks.total < plain.total,
+        "PERKS {} should beat plain CPU-Free {}",
+        perks.total,
+        plain.total
+    );
+}

@@ -1,0 +1,60 @@
+//! A 3D heat-diffusion study: weak- and strong-scaling of the 3D7pt Jacobi
+//! solver across 1–8 simulated GPUs, comparing the CPU-Free model against
+//! the best CPU-controlled baseline — the workload class the paper's
+//! introduction motivates (PDE solvers with per-step halo exchange).
+//!
+//! ```text
+//! cargo run --release --example heat_diffusion_3d
+//! ```
+
+use cpufree::prelude::*;
+
+fn weak_cfg(gpus: usize) -> StencilConfig {
+    // 128^3 interior per GPU, timing-only (the protocol is identical to
+    // functional mode; arithmetic is elided so the sweep is fast).
+    StencilConfig::cube3d(130, 130, 126 * gpus + 2, 100, gpus).timing_only()
+}
+
+fn strong_cfg(gpus: usize) -> StencilConfig {
+    StencilConfig::cube3d(258, 258, 258, 100, gpus).timing_only()
+}
+
+fn main() {
+    // Small functional run first: prove the 3D solver is exact.
+    let check = Variant::CpuFree.run(&StencilConfig::cube3d(18, 18, 18, 6, 4));
+    assert_eq!(check.max_err, Some(0.0));
+    println!("3D7pt verification vs sequential reference: exact (max err 0)\n");
+
+    println!("weak scaling — 128^3 per GPU, 100 steps (per-iteration time):");
+    println!("{:>6} {:>16} {:>16} {:>10}", "gpus", "baseline nvshmem", "cpu-free", "speedup");
+    for gpus in [1usize, 2, 4, 8] {
+        let cfg = weak_cfg(gpus);
+        let base = Variant::BaselineNvshmem.run(&cfg);
+        let free = Variant::CpuFree.run(&cfg);
+        println!(
+            "{:>6} {:>16} {:>16} {:>9.1}%",
+            gpus,
+            format!("{}", base.stats.per_iter),
+            format!("{}", free.stats.per_iter),
+            RunStats::speedup_pct(base.stats.per_iter, free.stats.per_iter)
+        );
+    }
+
+    println!("\nstrong scaling — constant 258^3 domain (per-iteration time):");
+    println!("{:>6} {:>16} {:>16} {:>10}", "gpus", "baseline nvshmem", "cpu-free", "speedup");
+    for gpus in [1usize, 2, 4, 8] {
+        let cfg = strong_cfg(gpus);
+        let base = Variant::BaselineNvshmem.run(&cfg);
+        let free = Variant::CpuFree.run(&cfg);
+        println!(
+            "{:>6} {:>16} {:>16} {:>9.1}%",
+            gpus,
+            format!("{}", base.stats.per_iter),
+            format!("{}", free.stats.per_iter),
+            RunStats::speedup_pct(base.stats.per_iter, free.stats.per_iter)
+        );
+    }
+    println!("\nAs GPU count grows the per-GPU chunk shrinks: communication and");
+    println!("control-path latency dominate, and the CPU-Free model's advantage");
+    println!("widens — the strong-scaling story of the paper's Fig 6.2.");
+}

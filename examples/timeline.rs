@@ -1,0 +1,34 @@
+//! Render the simulator's replacement for the paper's Nsight screenshots
+//! (Fig 2.1b): ASCII activity timelines of the CPU-controlled overlap
+//! baseline next to the CPU-Free kernel, on the same small workload.
+//!
+//! ```text
+//! cargo run --release --example timeline
+//! ```
+
+use cpufree::prelude::*;
+
+fn main() {
+    let cfg = StencilConfig::square2d(258, 4, 4).timing_only();
+
+    let base = Variant::BaselineOverlap.run(&cfg);
+    println!("=== Baseline Copy Overlap — 4 GPUs, 4 iterations (total {}) ===", base.total);
+    println!("{}", base.trace.render_timeline(110));
+
+    let free = Variant::CpuFree.run(&cfg);
+    println!("=== CPU-Free — same workload (total {}) ===", free.total);
+    println!("{}", free.trace.render_timeline(110));
+
+    // Interactive version: Chrome tracing JSON, for chrome://tracing or
+    // https://ui.perfetto.dev.
+    let path = std::env::temp_dir().join("cpufree_baseline_trace.json");
+    std::fs::write(&path, base.trace.to_chrome_json()).expect("write trace");
+    println!("Chrome-tracing export of the baseline run: {}", path.display());
+    println!();
+
+    println!("Read the rows: the baseline's host ranks (rank*) are busy every");
+    println!("iteration with launches (L), API calls (a) and blocking syncs (.),");
+    println!("while its streams serialize compute (#) and copies (~). The");
+    println!("CPU-Free run launches once; all activity lives in the persistent");
+    println!("kernel's block groups, and the host rows stay empty after t=0.");
+}

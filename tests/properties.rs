@@ -1,0 +1,225 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the stack.
+
+use cpufree::dace_sim::{Bindings, Expr};
+use cpufree::prelude::*;
+use cpufree::sim_des::{Trace, TraceSpan};
+use cpufree::stencil_lab::Slab;
+use proptest::prelude::*;
+
+proptest! {
+    /// §4.1.2 allocation: conservation, minimums, and monotonicity in the
+    /// boundary share.
+    #[test]
+    fn tb_allocation_invariants(
+        total in 3u64..1024,
+        inner in 0u64..1_000_000,
+        boundary in 0u64..100_000,
+    ) {
+        let a = TbAllocation::proportional(total, inner, boundary);
+        prop_assert_eq!(a.total, total);
+        prop_assert_eq!(2 * a.boundary_tbs + a.inner_tbs, total);
+        prop_assert!(a.boundary_tbs >= 1);
+        prop_assert!(a.inner_tbs >= 1);
+        let f = 2.0 * a.boundary_fraction() + a.inner_fraction();
+        prop_assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    /// Allocation monotonicity: growing the boundary workload never takes
+    /// blocks AWAY from the boundary groups.
+    #[test]
+    fn tb_allocation_monotone_in_boundary(
+        total in 5u64..512,
+        inner in 1u64..1_000_000,
+        boundary in 1u64..50_000,
+    ) {
+        let a = TbAllocation::proportional(total, inner, boundary);
+        let b = TbAllocation::proportional(total, inner, boundary * 2);
+        prop_assert!(b.boundary_tbs >= a.boundary_tbs);
+    }
+
+    /// Slab decomposition: partition exactness, contiguity, balance.
+    #[test]
+    fn slab_invariants(interior in 1usize..10_000, n in 1usize..64) {
+        prop_assume!(interior >= n);
+        let s = Slab::new(interior, n);
+        let total: usize = (0..n).map(|p| s.layers(p)).sum();
+        prop_assert_eq!(total, interior);
+        let mut cursor = 0;
+        for p in 0..n {
+            prop_assert_eq!(s.start(p), cursor);
+            cursor += s.layers(p);
+            // Balance: never differ by more than one layer.
+            prop_assert!(s.layers(p) + 1 >= s.layers(0));
+            prop_assert!(s.layers(p) <= s.layers(0));
+        }
+    }
+
+    /// Virtual time arithmetic: associativity/ordering survives conversion.
+    #[test]
+    fn simdur_arithmetic(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let (da, db) = (SimDur::from_nanos(a), SimDur::from_nanos(b));
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        prop_assert_eq!((SimTime::ZERO + da + db).since(SimTime::ZERO + da), db);
+        prop_assert_eq!(da * 3, SimDur::from_nanos(a * 3));
+        prop_assert!((da + db) >= da.max(db));
+    }
+
+    /// Trace algebra: overlap(a,b) <= min(busy(a), busy(b)); busy <= total.
+    #[test]
+    fn trace_overlap_bounds(spans in prop::collection::vec((0u64..10_000, 1u64..500, 0u8..2), 1..40)) {
+        let mut t = Trace::new();
+        for (start, len, cat) in spans {
+            t.push(TraceSpan {
+                agent: cpufree::sim_des::AgentId(0),
+                agent_name: "p".into(),
+                start: SimTime(start),
+                end: SimTime(start + len),
+                category: if cat == 0 { Category::Comm } else { Category::Compute },
+                label: String::new(),
+            });
+        }
+        let comm = t.busy(Category::Comm);
+        let comp = t.busy(Category::Compute);
+        let ov = t.overlap(Category::Comm, Category::Compute);
+        prop_assert!(ov <= comm);
+        prop_assert!(ov <= comp);
+        prop_assert!(comm <= t.total(Category::Comm));
+        let r = t.overlap_ratio(Category::Comm, Category::Compute);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    /// Symbolic expressions evaluate compositionally.
+    #[test]
+    fn expr_compositionality(x in -1000i64..1000, y in 1i64..1000) {
+        let mut b = Bindings::new();
+        b.insert("x".into(), x);
+        b.insert("y".into(), y);
+        let e = Expr::s("x").mul(Expr::c(2)).add(Expr::s("y"));
+        prop_assert_eq!(e.eval(&b), 2 * x + y);
+        let d = Expr::s("x").div(Expr::s("y")).mul(Expr::s("y"))
+            .add(Expr::s("x").rem(Expr::s("y")));
+        prop_assert_eq!(d.eval(&b), x); // Euclid-ish identity for trunc div
+    }
+
+    /// Cost model sanity across random transfer sizes: device-initiated
+    /// communication is never slower than the host MPI path, and both are
+    /// monotone in size.
+    #[test]
+    fn cost_model_monotone(bytes in 8u64..(1 << 24)) {
+        let m = CostModel::a100_hgx();
+        prop_assert!(m.shmem_put(bytes) < m.mpi_msg(bytes));
+        prop_assert!(m.shmem_put(bytes) <= m.shmem_put(bytes * 2));
+        prop_assert!(m.p2p_copy(bytes) <= m.p2p_copy(bytes + 8));
+        prop_assert!(m.pcie_copy(bytes) > m.p2p_copy(bytes));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// FUNCTIONAL END-TO-END PROPERTY: for random small configurations, the
+    /// CPU-Free multi-GPU run is bitwise-identical to the sequential
+    /// reference. (Few cases: each runs a full simulation.)
+    #[test]
+    fn cpu_free_exact_for_random_configs(
+        nx in 8usize..40,
+        layers_per_gpu in 2usize..8,
+        gpus in 1usize..5,
+        iters in 1u64..7,
+    ) {
+        let cfg = StencilConfig {
+            nx,
+            ny: layers_per_gpu * gpus + 2,
+            nz: 1,
+            iterations: iters,
+            n_gpus: gpus,
+            exec: ExecMode::Full,
+            no_compute: false,
+            threads_per_block: 1024,
+            cost: None,
+        };
+        let out = Variant::CpuFree.run(&cfg);
+        prop_assert_eq!(out.max_err, Some(0.0));
+    }
+
+    /// Same property for the discrete NVSHMEM baseline (different protocol,
+    /// same numerics).
+    #[test]
+    fn nvshmem_baseline_exact_for_random_configs(
+        nx in 8usize..32,
+        layers_per_gpu in 2usize..6,
+        gpus in 1usize..4,
+        iters in 1u64..6,
+    ) {
+        let cfg = StencilConfig {
+            nx,
+            ny: layers_per_gpu * gpus + 2,
+            nz: 1,
+            iterations: iters,
+            n_gpus: gpus,
+            exec: ExecMode::Full,
+            no_compute: false,
+            threads_per_block: 1024,
+            cost: None,
+        };
+        let out = Variant::BaselineNvshmem.run(&cfg);
+        prop_assert_eq!(out.max_err, Some(0.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Collectives: the device-side allreduce equals the order-matched
+    /// reference for random values and PE counts (each case runs a full
+    /// simulation, so few cases).
+    #[test]
+    fn allreduce_matches_reference(
+        n_pow in 0usize..4,
+        seedvals in prop::collection::vec(-100.0f64..100.0, 8),
+    ) {
+        use cpufree::nvshmem_sim::{
+            allreduce_scalar, reference_reduce, AllreduceWs, ReduceOp,
+        };
+        use std::sync::{Arc, Mutex};
+        let n = 1usize << n_pow; // 1, 2, 4, 8
+        let values: Vec<f64> = seedvals[..n].to_vec();
+        let machine = Machine::new(n, CostModel::a100_hgx(), ExecMode::Full);
+        let world = ShmemWorld::init(&machine);
+        let ws = AllreduceWs::new(&world);
+        let results = Arc::new(Mutex::new(vec![0.0f64; n]));
+        let vals = values.clone();
+        let res_l = Arc::clone(&results);
+        launch_cpu_free(&machine, "ar", 1024, move |pe| {
+            let world = world.clone();
+            let mut ws = ws.clone();
+            let v = vals[pe];
+            let results = Arc::clone(&res_l);
+            vec![BlockGroup::new("g", 1, move |k| {
+                let mut sh = ShmemCtx::new(&world, k);
+                let r = allreduce_scalar(&mut sh, k, &mut ws, v, ReduceOp::Sum);
+                results.lock().unwrap()[pe] = r;
+            })]
+        })
+        .unwrap();
+        let expect = reference_reduce(&values, ReduceOp::Sum, true);
+        let out = results.lock().unwrap();
+        prop_assert!(out.iter().all(|r| *r == expect), "{out:?} != {expect}");
+    }
+
+    /// The 2D grid decomposition is exact for random shapes.
+    #[test]
+    fn grid2d_exact_for_random_shapes(
+        rows in 2usize..7,
+        cols in 2usize..7,
+        pr in 1usize..3,
+        pc in 1usize..3,
+        iters in 1u64..4,
+    ) {
+        use cpufree::stencil_lab::{run_grid2d_cpu_free, Grid2DConfig};
+        let cfg = Grid2DConfig::new(rows, cols, (pr, pc), iters);
+        let out = run_grid2d_cpu_free(&cfg);
+        prop_assert_eq!(out.max_err, Some(0.0));
+    }
+}
