@@ -1,19 +1,20 @@
-//! Criterion wrappers over the DaCe figure experiments (Fig 6.3a/b):
+//! Wall-clock wrappers over the DaCe figure experiments (Fig 6.3a/b):
 //! transform + lower + simulate each backend at 4 GPUs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cpufree_bench::harness::Harness;
 use dace_sim::lower::{run_discrete, run_persistent};
 use dace_sim::programs::{Jacobi1dSetup, Jacobi2dSetup};
 use dace_sim::transform::{gpu_transform, to_cpu_free};
 use gpu_sim::ExecMode;
 
-fn fig6_3a(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_3a_dace_jacobi1d");
-    g.bench_function("baseline_mpi", |b| {
+fn main() {
+    let h = Harness::new(10);
+
+    {
         let setup = Jacobi1dSetup::new(1 << 20, 5, 4);
         let mut sdfg = setup.sdfg.clone();
         gpu_transform(&mut sdfg);
-        b.iter(|| {
+        h.bench("fig6_3a_dace_jacobi1d/baseline_mpi", || {
             run_discrete(
                 &sdfg,
                 4,
@@ -24,13 +25,10 @@ fn fig6_3a(c: &mut Criterion) {
             )
             .unwrap()
             .total
-        })
-    });
-    g.bench_function("cpu_free", |b| {
-        let setup = Jacobi1dSetup::new(1 << 20, 5, 4);
+        });
         let mut sdfg = setup.sdfg.clone();
         to_cpu_free(&mut sdfg).unwrap();
-        b.iter(|| {
+        h.bench("fig6_3a_dace_jacobi1d/cpu_free", || {
             run_persistent(
                 &sdfg,
                 4,
@@ -41,18 +39,14 @@ fn fig6_3a(c: &mut Criterion) {
             )
             .unwrap()
             .total
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-fn fig6_3b(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_3b_dace_jacobi2d");
-    g.bench_function("baseline_mpi", |b| {
+    {
         let setup = Jacobi2dSetup::new(1400, 1400, 5, 4);
         let mut sdfg = setup.sdfg.clone();
         gpu_transform(&mut sdfg);
-        b.iter(|| {
+        h.bench("fig6_3b_dace_jacobi2d/baseline_mpi", || {
             run_discrete(
                 &sdfg,
                 4,
@@ -63,13 +57,10 @@ fn fig6_3b(c: &mut Criterion) {
             )
             .unwrap()
             .total
-        })
-    });
-    g.bench_function("cpu_free", |b| {
-        let setup = Jacobi2dSetup::new(1400, 1400, 5, 4);
+        });
         let mut sdfg = setup.sdfg.clone();
         to_cpu_free(&mut sdfg).unwrap();
-        b.iter(|| {
+        h.bench("fig6_3b_dace_jacobi2d/cpu_free", || {
             run_persistent(
                 &sdfg,
                 4,
@@ -80,25 +71,13 @@ fn fig6_3b(c: &mut Criterion) {
             )
             .unwrap()
             .total
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-fn transforms(c: &mut Criterion) {
-    c.bench_function("transform/to_cpu_free_jacobi2d", |b| {
+    h.bench("transform/to_cpu_free_jacobi2d", || {
         let setup = Jacobi2dSetup::new(512, 512, 10, 8);
-        b.iter(|| {
-            let mut sdfg = setup.sdfg.clone();
-            to_cpu_free(&mut sdfg).unwrap();
-            sdfg
-        })
+        let mut sdfg = setup.sdfg.clone();
+        to_cpu_free(&mut sdfg).unwrap();
+        sdfg
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig6_3a, fig6_3b, transforms
-}
-criterion_main!(benches);

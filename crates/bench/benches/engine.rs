@@ -2,70 +2,55 @@
 //! deterministic engine executes agent handoffs, signals and barriers.
 //! These bound how large a figure sweep is practical.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cpufree_bench::harness::Harness;
 use sim_des::{ns, Cmp, Engine, SignalOp};
 
-fn engine_handoffs(c: &mut Criterion) {
-    c.bench_function("engine/advance_1000", |b| {
-        b.iter(|| {
-            let engine = Engine::new();
-            engine.set_trace_enabled(false);
-            engine.spawn("a", |ctx| {
-                for _ in 0..1000 {
-                    ctx.advance(ns(100));
-                }
-            });
-            engine.run().unwrap()
-        })
-    });
-}
+fn main() {
+    let h = Harness::new(20);
 
-fn engine_pingpong(c: &mut Criterion) {
-    c.bench_function("engine/signal_pingpong_500", |b| {
-        b.iter(|| {
-            let engine = Engine::new();
-            engine.set_trace_enabled(false);
-            let f1 = engine.flag(0);
-            let f2 = engine.flag(0);
-            engine.spawn("a", move |ctx| {
-                for i in 1..=500u64 {
-                    ctx.signal(f1, SignalOp::Set, i);
-                    ctx.wait_flag(f2, Cmp::Ge, i);
-                }
-            });
-            engine.spawn("b", move |ctx| {
-                for i in 1..=500u64 {
-                    ctx.wait_flag(f1, Cmp::Ge, i);
-                    ctx.signal(f2, SignalOp::Set, i);
-                }
-            });
-            engine.run().unwrap()
-        })
-    });
-}
-
-fn engine_barrier(c: &mut Criterion) {
-    c.bench_function("engine/barrier_8x100", |b| {
-        b.iter(|| {
-            let engine = Engine::new();
-            engine.set_trace_enabled(false);
-            let bar = engine.barrier(8);
-            for i in 0..8 {
-                engine.spawn(format!("w{i}"), move |ctx| {
-                    for _ in 0..100 {
-                        ctx.advance(ns(50));
-                        ctx.barrier(bar);
-                    }
-                });
+    h.bench("engine/advance_1000", || {
+        let engine = Engine::new();
+        engine.set_trace_enabled(false);
+        engine.spawn("a", |ctx| {
+            for _ in 0..1000 {
+                ctx.advance(ns(100));
             }
-            engine.run().unwrap()
-        })
+        });
+        engine.run().unwrap()
+    });
+
+    h.bench("engine/signal_pingpong_500", || {
+        let engine = Engine::new();
+        engine.set_trace_enabled(false);
+        let f1 = engine.flag(0);
+        let f2 = engine.flag(0);
+        engine.spawn("a", move |ctx| {
+            for i in 1..=500u64 {
+                ctx.signal(f1, SignalOp::Set, i);
+                ctx.wait_flag(f2, Cmp::Ge, i);
+            }
+        });
+        engine.spawn("b", move |ctx| {
+            for i in 1..=500u64 {
+                ctx.wait_flag(f1, Cmp::Ge, i);
+                ctx.signal(f2, SignalOp::Set, i);
+            }
+        });
+        engine.run().unwrap()
+    });
+
+    h.bench("engine/barrier_8x100", || {
+        let engine = Engine::new();
+        engine.set_trace_enabled(false);
+        let bar = engine.barrier(8);
+        for i in 0..8 {
+            engine.spawn(format!("w{i}"), move |ctx| {
+                for _ in 0..100 {
+                    ctx.advance(ns(50));
+                    ctx.barrier(bar);
+                }
+            });
+        }
+        engine.run().unwrap()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = engine_handoffs, engine_pingpong, engine_barrier
-}
-criterion_main!(benches);

@@ -1,45 +1,26 @@
 //! Wall-clock throughput of the *functional* kernels (the real arithmetic
-//! executed in `ExecMode::Full`): the rayon-parallel 2D/3D Jacobi sweeps.
+//! executed in `ExecMode::Full`): the 2D/3D Jacobi sweeps.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cpufree_bench::harness::Harness;
 use stencil_lab::grid;
 
-fn sweep2d(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new(20);
+
     let nx = 2048;
     let ny = 2048;
     let a = grid::init2d(nx, ny);
     let mut b = a.clone();
-    let mut g = c.benchmark_group("kernel_sweep2d_2048");
-    g.throughput(Throughput::Elements(((nx - 2) * (ny - 2)) as u64));
-    g.bench_function("rayon", |bench| {
-        bench.iter(|| {
-            grid::sweep2d_rows(&a, &mut b, nx, (1, ny - 2));
-            b[nx + 1]
-        })
+    h.bench("kernel_sweep2d_2048", || {
+        grid::sweep2d_rows(&a, &mut b, nx, (1, ny - 2));
+        b[nx + 1]
     });
-    g.finish();
-}
 
-fn sweep3d(c: &mut Criterion) {
     let (nx, ny, nz) = (128, 128, 128);
     let a = grid::init3d(nx, ny, nz);
     let mut b = a.clone();
-    let mut g = c.benchmark_group("kernel_sweep3d_128");
-    g.throughput(Throughput::Elements(
-        ((nx - 2) * (ny - 2) * (nz - 2)) as u64,
-    ));
-    g.bench_function("rayon", |bench| {
-        bench.iter(|| {
-            grid::sweep3d_planes(&a, &mut b, nx, ny, (1, nz - 2));
-            b[nx * ny + nx + 1]
-        })
+    h.bench("kernel_sweep3d_128", || {
+        grid::sweep3d_planes(&a, &mut b, nx, ny, (1, nz - 2));
+        b[nx * ny + nx + 1]
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = sweep2d, sweep3d
-}
-criterion_main!(benches);

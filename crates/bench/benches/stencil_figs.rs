@@ -1,75 +1,61 @@
-//! Criterion wrappers over the stencil figure experiments (Fig 2.2, 6.1,
+//! Wall-clock wrappers over the stencil figure experiments (Fig 2.2, 6.1,
 //! 6.2). Each bench point simulates one variant at 4 GPUs with a reduced
 //! iteration count; the `figures` binary produces the full paper tables.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpufree_bench::harness::Harness;
 use cpufree_bench::{strong3d, weak2d, weak3d};
 use stencil_lab::Variant;
 
 const BENCH_ITERS: u64 = 10;
 
-fn fig2_2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_2_no_compute_2d_256");
+fn main() {
+    let h = Harness::new(10);
+
     for v in [Variant::BaselineOverlap, Variant::CpuFree] {
-        g.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
-            let cfg = weak2d(256, 4, BENCH_ITERS).without_compute();
-            b.iter(|| v.run(&cfg).total)
+        let cfg = weak2d(256, 4, BENCH_ITERS).without_compute();
+        h.bench(&format!("fig2_2_no_compute_2d_256/{}", v.label()), || {
+            v.run(&cfg).total
         });
     }
-    g.finish();
-}
 
-fn fig6_1(c: &mut Criterion) {
-    for (name, base) in [("small_256", 256usize), ("medium_2048", 2048), ("large_8192", 8192)] {
-        let mut g = c.benchmark_group(format!("fig6_1_weak2d_{name}"));
+    for (name, base) in [
+        ("small_256", 256usize),
+        ("medium_2048", 2048),
+        ("large_8192", 8192),
+    ] {
         let mut variants = Variant::paper_set().to_vec();
         if base == 8192 {
             variants.push(Variant::CpuFreePerks);
         }
         for v in variants {
-            g.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
-                let cfg = weak2d(base, 4, BENCH_ITERS);
-                b.iter(|| v.run(&cfg).total)
+            let cfg = weak2d(base, 4, BENCH_ITERS);
+            h.bench(&format!("fig6_1_weak2d_{name}/{}", v.label()), || {
+                v.run(&cfg).total
             });
         }
-        g.finish();
     }
-}
 
-fn fig6_2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_2_weak3d_256");
     for v in Variant::paper_set() {
-        g.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
-            let cfg = weak3d(256, 256, 256, 4, BENCH_ITERS);
-            b.iter(|| v.run(&cfg).total)
+        let cfg = weak3d(256, 256, 256, 4, BENCH_ITERS);
+        h.bench(&format!("fig6_2_weak3d_256/{}", v.label()), || {
+            v.run(&cfg).total
         });
     }
-    g.finish();
-
-    let mut g = c.benchmark_group("fig6_2_strong3d_512");
     for v in [Variant::BaselineNvshmem, Variant::CpuFree] {
-        g.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
-            let cfg = strong3d(512, 512, 514, 8, BENCH_ITERS);
-            b.iter(|| v.run(&cfg).total)
+        let cfg = strong3d(512, 512, 514, 8, BENCH_ITERS);
+        h.bench(&format!("fig6_2_strong3d_512/{}", v.label()), || {
+            v.run(&cfg).total
         });
     }
-    g.finish();
-}
 
-fn ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_designs");
-    for v in [Variant::CpuFree, Variant::CpuFreeDual, Variant::CpuFreeFixedSplit] {
-        g.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
-            let cfg = weak2d(2048, 4, BENCH_ITERS);
-            b.iter(|| v.run(&cfg).total)
+    for v in [
+        Variant::CpuFree,
+        Variant::CpuFreeDual,
+        Variant::CpuFreeFixedSplit,
+    ] {
+        let cfg = weak2d(2048, 4, BENCH_ITERS);
+        h.bench(&format!("ablation_designs/{}", v.label()), || {
+            v.run(&cfg).total
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig2_2, fig6_1, fig6_2, ablations
-}
-criterion_main!(benches);

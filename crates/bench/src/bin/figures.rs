@@ -96,11 +96,7 @@ fn fig6_1_print() {
             &["Baseline NVSHMEM", "Baseline Copy Overlap"],
         );
         if label.starts_with("large") {
-            print_speedups(
-                &rows,
-                "CPU-Free (PERKS)",
-                &["Baseline NVSHMEM", "CPU-Free"],
-            );
+            print_speedups(&rows, "CPU-Free (PERKS)", &["Baseline NVSHMEM", "CPU-Free"]);
         }
     }
 }
@@ -110,7 +106,11 @@ fn fig6_2_print() {
     for (label, rows) in fig6_2() {
         println!("\n-- {label} --");
         print_points(&rows);
-        print_speedups(&rows, "CPU-Free", &["Baseline NVSHMEM", "Baseline Copy Overlap"]);
+        print_speedups(
+            &rows,
+            "CPU-Free",
+            &["Baseline NVSHMEM", "Baseline Copy Overlap"],
+        );
     }
 }
 
@@ -146,7 +146,10 @@ fn ablations() {
     println!("\n== Ablation — single persistent kernel vs dual co-resident kernels ==");
     print_points(&ablation_dual_kernel());
     println!("\n== Ablation — §5.3.2 put granularity: single-thread vs block-cooperative ==");
-    println!("{:<26} {:>14} {:>14} {:>9}", "workload", "thread", "block", "gain");
+    println!(
+        "{:<26} {:>14} {:>14} {:>9}",
+        "workload", "thread", "block", "gain"
+    );
     for (label, thread, block) in ablation_put_granularity() {
         println!(
             "{:<26} {:>14} {:>14} {:>8.1}%",
@@ -166,7 +169,10 @@ fn sensitivity() {
 
 fn grid2d() {
     println!("== Extension — handwritten 2D grid decomposition (strided E/W iput) ==");
-    println!("{:>5} {:>14} {:>14} {:>9}", "gpus", "baseline", "cpu-free", "speedup");
+    println!(
+        "{:>5} {:>14} {:>14} {:>9}",
+        "gpus", "baseline", "cpu-free", "speedup"
+    );
     for (n, base, free, s) in grid2d_comparison() {
         println!(
             "{:>5} {:>14} {:>14} {:>8.1}%",
@@ -203,6 +209,28 @@ fn cg() {
     print_dace(&cg_comparison());
 }
 
+fn faults() {
+    println!("== Robustness — fault-injected CPU-Free runs: recovery overhead ==");
+    println!(
+        "{:<8} {:<22} {:>14} {:>10} {:>9} {:>8} {:>13}",
+        "workload", "scenario", "total", "overhead", "rollbacks", "retries", "bit-identical"
+    );
+    for r in fault_recovery_overhead() {
+        println!(
+            "{:<8} {:<22} {:>14} {:>9.1}% {:>9} {:>8} {:>13}",
+            r.workload,
+            r.scenario,
+            r.total.to_string(),
+            r.overhead_pct,
+            r.rollbacks,
+            r.retries,
+            r.bit_identical
+        );
+    }
+    println!("(every recovered run reproduces the fault-free result bit for bit;");
+    println!(" overhead is virtual time vs. the fault-free fault-tolerant run)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
@@ -237,6 +265,10 @@ fn main() {
     }
     if want("cg") {
         cg();
+        println!();
+    }
+    if want("faults") {
+        faults();
         println!();
     }
     if want("breakdown") {

@@ -477,11 +477,29 @@ pub fn ablation_put_granularity() -> Vec<(String, SimDur, SimDur)> {
                     let src = halo.local(pe).clone();
                     if block {
                         sh.putmem_signal_block(
-                            k, &halo, 0, &src, 0, plane, &sig, SignalOp::Set, t, other,
+                            k,
+                            &halo,
+                            0,
+                            &src,
+                            0,
+                            plane,
+                            &sig,
+                            SignalOp::Set,
+                            t,
+                            other,
                         );
                     } else {
                         sh.putmem_signal_nbi(
-                            k, &halo, 0, &src, 0, plane, &sig, SignalOp::Set, t, other,
+                            k,
+                            &halo,
+                            0,
+                            &src,
+                            0,
+                            plane,
+                            &sig,
+                            SignalOp::Set,
+                            t,
+                            other,
                         );
                     }
                     sh.signal_wait_until(k, &sig, Cmp::Ge, t);
@@ -604,9 +622,183 @@ pub fn overhead_breakdown() -> Vec<BreakdownRow> {
     rows
 }
 
+/// One row of the fault-injection / recovery-overhead experiment.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Workload label (`jacobi` or `cg`).
+    pub workload: String,
+    /// Fault scenario label.
+    pub scenario: String,
+    /// End-to-end virtual time of the fault-injected run.
+    pub total: SimDur,
+    /// Recovery overhead vs. the fault-free FT run, in percent.
+    pub overhead_pct: f64,
+    /// Rollback rounds performed.
+    pub rollbacks: u64,
+    /// Extra put attempts spent on dropped deliveries.
+    pub retries: u64,
+    /// Whether the result matched the fault-free run bit for bit.
+    pub bit_identical: bool,
+}
+
+/// Recovery overhead of the fault-tolerant CPU-Free runners: Jacobi and CG
+/// under transient link degradation, dropped signal deliveries, and an
+/// agent crash with checkpoint/restart — each verified bit-identical to the
+/// fault-free run, with the virtual-time cost of recovery reported.
+pub fn fault_recovery_overhead() -> Vec<FaultRow> {
+    use cpufree_solvers::{run_cpu_free_ft as run_cg_ft, CgFtConfig, PoissonProblem};
+    use gpu_sim::{CrashFault, DropFault, FaultPlan, LinkFault};
+    use sim_des::{us, SimTime};
+    use stencil_lab::{run_cpu_free_ft as run_jacobi_ft, FtConfig};
+
+    let scenarios = |horizon: f64| {
+        [
+            ("fault-free", FaultPlan::new()),
+            (
+                "link degraded 0-1",
+                FaultPlan::new().with_link(LinkFault {
+                    a: 0,
+                    b: 1,
+                    from: SimTime::ZERO,
+                    until: SimTime::ZERO + us(horizon),
+                    latency_mult: 5.0,
+                    bandwidth_mult: 0.25,
+                }),
+            ),
+            (
+                "dropped signals 1->2",
+                FaultPlan::new().with_drop(DropFault {
+                    from: 1,
+                    to: 2,
+                    first_attempt: 3,
+                    count: 2,
+                }),
+            ),
+            (
+                "crash node 2 @ iter 6",
+                FaultPlan::new().with_crash(CrashFault {
+                    node: 2,
+                    at_iteration: 6,
+                }),
+            ),
+        ]
+    };
+    let mut rows = Vec::new();
+
+    // Jacobi (2D5pt, 4 PEs, Full mode so bit-identity is checked on data).
+    let base = StencilConfig {
+        nx: 64,
+        ny: 62,
+        nz: 1,
+        iterations: 10,
+        n_gpus: 4,
+        exec: ExecMode::Full,
+        no_compute: false,
+        threads_per_block: 1024,
+        cost: None,
+    };
+    let clean = run_jacobi_ft(&FtConfig::new(base.clone(), FaultPlan::new()))
+        .expect("fault-free jacobi FT run failed");
+    for (name, plan) in scenarios(400.0) {
+        let ex = run_jacobi_ft(&FtConfig::new(base.clone(), plan))
+            .expect("jacobi FT run failed to recover");
+        rows.push(FaultRow {
+            workload: "jacobi".into(),
+            scenario: name.into(),
+            total: ex.exec.total,
+            overhead_pct: overhead_pct(clean.exec.total, ex.exec.total),
+            rollbacks: ex.rollbacks,
+            retries: ex.retries,
+            bit_identical: ex.exec.checksum == clean.exec.checksum && ex.exec.max_err == Some(0.0),
+        });
+    }
+
+    // CG (2D Poisson, 4 PEs).
+    let prob = PoissonProblem::new(64, 62, 10, 4);
+    let cg_clean = run_cg_ft(
+        &CgFtConfig::new(prob.clone(), FaultPlan::new()),
+        ExecMode::Full,
+    )
+    .expect("fault-free CG FT run failed");
+    for (name, plan) in scenarios(400.0) {
+        let ex = run_cg_ft(&CgFtConfig::new(prob.clone(), plan), ExecMode::Full)
+            .expect("CG FT run failed to recover");
+        rows.push(FaultRow {
+            workload: "cg".into(),
+            scenario: name.into(),
+            total: ex.result.total,
+            overhead_pct: overhead_pct(cg_clean.result.total, ex.result.total),
+            rollbacks: ex.rollbacks,
+            retries: ex.retries,
+            bit_identical: ex.result.final_rho.to_bits() == cg_clean.result.final_rho.to_bits()
+                && ex.result.verify(&prob) == 0.0,
+        });
+    }
+    rows
+}
+
+fn overhead_pct(clean: SimDur, faulted: SimDur) -> f64 {
+    (faulted.as_nanos() as f64 / clean.as_nanos() as f64 - 1.0) * 100.0
+}
+
 /// The paper's speedup formula, in percent.
 pub fn speedup_pct(baseline: SimDur, ours: SimDur) -> f64 {
     cpufree_core::RunStats::speedup_pct(baseline, ours)
+}
+
+/// Minimal wall-clock micro-bench harness (std-only; the workspace builds
+/// offline, so the `benches/` binaries use this instead of criterion).
+pub mod harness {
+    use std::time::Instant;
+
+    /// Runs closures repeatedly and prints min/median wall-clock times.
+    pub struct Harness {
+        samples: usize,
+    }
+
+    impl Harness {
+        /// A harness taking `samples` timed samples per benchmark.
+        pub fn new(samples: usize) -> Self {
+            Harness {
+                samples: samples.max(1),
+            }
+        }
+
+        /// Time `f` (one warmup + `samples` measured runs) and print a row.
+        /// The closure's return value is consumed to keep it live.
+        pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+            let _ = f(); // warmup
+            let mut times: Vec<u128> = (0..self.samples)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let out = f();
+                    let dt = t0.elapsed().as_nanos();
+                    drop(out);
+                    dt
+                })
+                .collect();
+            times.sort_unstable();
+            let min = times[0];
+            let median = times[times.len() / 2];
+            println!(
+                "{name:<44} min {:>12}  median {:>12}",
+                fmt_ns(min),
+                fmt_ns(median)
+            );
+        }
+    }
+
+    fn fmt_ns(ns: u128) -> String {
+        if ns >= 1_000_000_000 {
+            format!("{:.3} s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            format!("{:.3} ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            format!("{:.3} us", ns as f64 / 1e3)
+        } else {
+            format!("{ns} ns")
+        }
+    }
 }
 
 #[cfg(test)]

@@ -40,13 +40,11 @@ impl TbAllocation {
             "need at least 3 co-resident blocks (2 comm + 1 inner), got {total}"
         );
         let denom = inner_size + 2 * boundary_size;
-        let mut boundary = if denom == 0 {
-            1
-        } else {
-            // Round to nearest: flooring starves wide boundary layers (a
-            // single block per 512x512 plane bottlenecks the whole kernel).
-            (total * boundary_size + denom / 2) / denom
-        };
+        // Round to nearest: flooring starves wide boundary layers (a
+        // single block per 512x512 plane bottlenecks the whole kernel).
+        let mut boundary = (total * boundary_size + denom / 2)
+            .checked_div(denom)
+            .unwrap_or(1);
         boundary = boundary.clamp(1, (total - 1) / 2);
         TbAllocation {
             boundary_tbs: boundary,

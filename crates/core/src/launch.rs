@@ -74,7 +74,12 @@ impl LocalRendezvous {
         agent.wait_flag(other, Cmp::Ge, iter);
         agent.advance(poll);
         let end = agent.now();
-        agent.record(Category::Sync, format!("local rendezvous it{iter}"), start, end);
+        agent.record(
+            Category::Sync,
+            format!("local rendezvous it{iter}"),
+            start,
+            end,
+        );
     }
 }
 
@@ -247,18 +252,7 @@ mod tests {
                 let src = k.machine().alloc(DevId(pe), "tok", 1);
                 for it in 1..=iters {
                     src.set(0, (pe as f64) + (it as f64) * 100.0);
-                    sh.putmem_signal_nbi(
-                        k,
-                        &halo,
-                        0,
-                        &src,
-                        0,
-                        1,
-                        &sig,
-                        SignalOp::Set,
-                        it,
-                        right,
-                    );
+                    sh.putmem_signal_nbi(k, &halo, 0, &src, 0, 1, &sig, SignalOp::Set, it, right);
                     sh.signal_wait_until(k, &sig, Cmp::Ge, it);
                 }
             })]

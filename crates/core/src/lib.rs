@@ -24,7 +24,9 @@
 mod alloc;
 mod launch;
 mod stats;
+mod watchdog;
 
 pub use alloc::TbAllocation;
 pub use launch::{launch_cpu_free, launch_cpu_free_dual, persistent_loop, LocalRendezvous};
 pub use stats::RunStats;
+pub use watchdog::{spawn_watchdog, WatchdogSpec};

@@ -41,9 +41,7 @@ impl RunStats {
         // "Communication" in the paper's overlap discussion = everything on
         // the communication path: transfers plus the waits that serialize
         // them. Merge both categories' intervals by measuring them jointly.
-        let comm_like = trace.filter(|s| {
-            matches!(s.category, Category::Comm | Category::Sync)
-        });
+        let comm_like = trace.filter(|s| matches!(s.category, Category::Comm | Category::Sync));
         // Re-tag to one category so `busy` unions across both.
         let mut joint = sim_des::Trace::new();
         for s in comm_like.spans() {

@@ -1,0 +1,81 @@
+//! A per-machine watchdog agent that converts silent hangs into attributed
+//! [`SimError::Timeout`] diagnoses.
+//!
+//! CPU-Free persistent kernels synchronize entirely on the device; when a
+//! signal is lost or a protocol bug livelocks the PEs, the host sees
+//! *nothing* — the simulation (like the real system) would simply run
+//! forever. The engine's deadlock detector only catches the case where no
+//! agent can ever run again; a PE spinning on `signal_fetch` defeats it.
+//!
+//! The watchdog closes that gap: each monitored agent increments a
+//! *heartbeat* flag whenever it makes real progress (one iteration of the
+//! persistent loop). The watchdog wakes every `interval` of virtual time and
+//! compares heartbeat snapshots; if an entire interval passes with no beat
+//! from some PE and the run has not completed, it aborts the simulation with
+//! a [`SimError::Timeout`] naming the stalled PE — including the wait-for
+//! cycle when the blocked PEs' declared edges close one.
+
+use gpu_sim::Machine;
+use sim_des::{Cmp, Flag, SimDur, SimError};
+
+/// Configuration for [`spawn_watchdog`].
+pub struct WatchdogSpec {
+    /// Heartbeat flags to observe, with a diagnostic label each
+    /// (typically `("pe{n}", flag)`).
+    pub heartbeats: Vec<(String, Flag)>,
+    /// Completion flag: the run is finished once it reaches `target`.
+    pub done: Flag,
+    /// Completion target (e.g. the number of PEs).
+    pub target: u64,
+    /// Virtual-time window within which every monitored agent must beat.
+    pub interval: SimDur,
+}
+
+/// Spawn the watchdog agent on `machine`'s engine.
+///
+/// Must be called before `machine.run()`. The watchdog exits cleanly when
+/// `done` reaches `target`; otherwise, the first interval in which **no**
+/// heartbeat advances ends the run with an attributed timeout (the stalled
+/// agents named, the wait-for cycle reported when one exists).
+pub fn spawn_watchdog(machine: &Machine, spec: WatchdogSpec) {
+    let engine = machine.engine();
+    engine.spawn("watchdog", move |ctx| {
+        let mut last: Vec<u64> = spec
+            .heartbeats
+            .iter()
+            .map(|(_, f)| ctx.flag_value(*f))
+            .collect();
+        loop {
+            let deadline = ctx.now() + spec.interval;
+            if ctx
+                .wait_flag_until(spec.done, Cmp::Ge, spec.target, deadline)
+                .is_ok()
+            {
+                return; // run completed
+            }
+            let current: Vec<u64> = spec
+                .heartbeats
+                .iter()
+                .map(|(_, f)| ctx.flag_value(*f))
+                .collect();
+            let progressed = current
+                .iter()
+                .zip(last.iter())
+                .any(|(now, before)| now > before);
+            if !progressed {
+                // A full interval with zero progress anywhere: diagnose.
+                let stalled: Vec<&str> = spec
+                    .heartbeats
+                    .iter()
+                    .zip(current.iter().zip(last.iter()))
+                    .filter(|(_, (now, before))| now <= before)
+                    .map(|((label, _), _)| label.as_str())
+                    .collect();
+                let err: SimError =
+                    ctx.timeout_error(format!("heartbeat from [{}]", stalled.join(", ")), deadline);
+                ctx.abort(err);
+            }
+            last = current;
+        }
+    });
+}

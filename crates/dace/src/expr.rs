@@ -55,26 +55,31 @@ impl Expr {
     }
 
     /// `self + rhs` (builder).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Add(Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs` (builder).
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Sub(Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs` (builder).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Mul(Box::new(self), Box::new(rhs))
     }
 
     /// `self / rhs` (builder).
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Expr {
         Expr::Div(Box::new(self), Box::new(rhs))
     }
 
     /// `self % rhs` (builder).
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(self, rhs: Expr) -> Expr {
         Expr::Rem(Box::new(self), Box::new(rhs))
     }

@@ -339,7 +339,7 @@ impl GuardedOp {
 
     /// Does this op execute under the bindings?
     pub fn active(&self, b: &Bindings) -> bool {
-        self.guard.as_ref().map_or(true, |g| g.eval(b))
+        self.guard.as_ref().is_none_or(|g| g.eval(b))
     }
 }
 
@@ -416,7 +416,11 @@ impl Sdfg {
             b.insert(name.clone(), v);
         }
         for s in &self.symbols {
-            assert!(b.contains_key(s), "symbol `{s}` not bound for `{}`", self.name);
+            assert!(
+                b.contains_key(s),
+                "symbol `{s}` not bound for `{}`",
+                self.name
+            );
         }
         b
     }
@@ -461,7 +465,13 @@ impl fmt::Display for Sdfg {
         writeln!(f, "sdfg {} {{", self.name)?;
         for a in &self.arrays {
             let dims: Vec<String> = a.shape.iter().map(|e| e.to_string()).collect();
-            writeln!(f, "  array {}[{}] @{:?}", a.name, dims.join(", "), a.storage)?;
+            writeln!(
+                f,
+                "  array {}[{}] @{:?}",
+                a.name,
+                dims.join(", "),
+                a.storage
+            )?;
         }
         fn walk(cf: &Cf, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
             let pad = "  ".repeat(depth);
@@ -512,7 +522,14 @@ mod tests {
         );
         let shape = [6, 10]; // rows=4, cols=8
         let res = r.resolve(&shape, &b(&[("cols", 8)]));
-        assert_eq!(res, Resolved { offset: 11, count: 8, stride: 1 });
+        assert_eq!(
+            res,
+            Resolved {
+                offset: 11,
+                count: 8,
+                stride: 1
+            }
+        );
         assert!(r.is_structurally_contiguous());
     }
 
@@ -527,7 +544,14 @@ mod tests {
             ],
         );
         let res = r.resolve(&[6, 10], &b(&[("rows", 4)]));
-        assert_eq!(res, Resolved { offset: 10, count: 4, stride: 10 });
+        assert_eq!(
+            res,
+            Resolved {
+                offset: 10,
+                count: 4,
+                stride: 10
+            }
+        );
         assert!(!r.is_structurally_contiguous());
     }
 
@@ -535,7 +559,14 @@ mod tests {
     fn resolve_single_element() {
         let r = DataRef::new("A", vec![DimRange::idx(Expr::s("chunk").add(Expr::c(1)))]);
         let res = r.resolve(&[18], &b(&[("chunk", 16)]));
-        assert_eq!(res, Resolved { offset: 17, count: 1, stride: 1 });
+        assert_eq!(
+            res,
+            Resolved {
+                offset: 17,
+                count: 1,
+                stride: 1
+            }
+        );
     }
 
     #[test]

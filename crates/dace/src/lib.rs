@@ -28,7 +28,7 @@ pub mod programs;
 pub mod transform;
 
 pub use expr::{Bindings, Cond, CondOp, Expr};
-pub use ir::{Sdfg, Schedule, Storage};
+pub use ir::{Schedule, Sdfg, Storage};
 pub use lower::{run_discrete, run_persistent, LowerError, Lowered};
 pub use programs::{Jacobi1dSetup, Jacobi2dSetup};
 pub use transform::{

@@ -349,7 +349,11 @@ fn exec_cf_discrete(
     for cf in body {
         match cf {
             Cf::Loop {
-                var, start, end, body, ..
+                var,
+                start,
+                end,
+                body,
+                ..
             } => {
                 let (lo, hi) = (start.eval(b), end.eval(b));
                 for v in lo..=hi {
@@ -453,11 +457,8 @@ fn exec_state_discrete(
                     *cnt += 1;
                     let cnt = *cnt;
                     host.wait_flag(ch.msg, Cmp::Ge, cnt, "MPI_Waitall");
-                    host.agent_mut().busy(
-                        Category::Comm,
-                        "MPI recv path",
-                        us(cost.mpi_msg_us),
-                    );
+                    host.agent_mut()
+                        .busy(Category::Comm, "MPI recv path", us(cost.mpi_msg_us));
                     let r = buf.resolve(inst.shape(&buf.array), b);
                     let bytes = (r.count * 8) as u64;
                     let dbuf = inst.buf(&buf.array, pe).clone();
@@ -520,10 +521,8 @@ pub fn run_persistent(
                     LibNode::Iput { dst, .. }
                     | LibNode::PutSingle { dst, .. }
                     | LibNode::PutMapped { dst, .. },
-                ) => {
-                    if sdfg.array(&dst.array).storage != Storage::GpuNvshmem {
-                        err.get_or_insert(LowerError::PutTargetNotSymmetric(dst.array.clone()));
-                    }
+                ) if sdfg.array(&dst.array).storage != Storage::GpuNvshmem => {
+                    err.get_or_insert(LowerError::PutTargetNotSymmetric(dst.array.clone()));
                 }
                 _ => {}
             }
@@ -561,7 +560,11 @@ fn exec_cf_persistent(
     for cf in body {
         match cf {
             Cf::Loop {
-                var, start, end, body, ..
+                var,
+                start,
+                end,
+                body,
+                ..
             } => {
                 let (lo, hi) = (start.eval(b), end.eval(b));
                 for v in lo..=hi {
@@ -709,7 +712,9 @@ fn exec_lib_persistent(
                 .sym()
                 .expect("validated symmetric storage");
             let srcbuf = inst.buf(&src.array, pe).clone();
-            sh.put_mapped(k, sym, rd.offset, &srcbuf, rs.offset, rd.count, 1024, target);
+            sh.put_mapped(
+                k, sym, rd.offset, &srcbuf, rs.offset, rd.count, 1024, target,
+            );
         }
         LibNode::SignalWait { sig, val } => {
             sh.signal_wait_until(k, &inst.sigs[sig], Cmp::Ge, val.eval(b) as u64);

@@ -67,9 +67,7 @@ impl MpiSim {
             ) {
                 for cf in cfs {
                     match cf {
-                        Cf::Loop { body, .. } => {
-                            walk(body, pe, b, machine, shape_of, channels)
-                        }
+                        Cf::Loop { body, .. } => walk(body, pe, b, machine, shape_of, channels),
                         Cf::State(state) => {
                             for op in &state.ops {
                                 if !op.active(b) {
@@ -77,10 +75,7 @@ impl MpiSim {
                                 }
                                 if let Op::Lib(LibNode::MpiIsend { buf, dest, tag }) = &op.op {
                                     let dst = dest.eval(b);
-                                    assert!(
-                                        dst >= 0,
-                                        "negative destination rank on tag {tag}"
-                                    );
+                                    assert!(dst >= 0, "negative destination rank on tag {tag}");
                                     let dst = dst as usize;
                                     let resolved = buf.resolve(&shape_of(&buf.array), b);
                                     let key = (pe, dst, *tag);
@@ -113,9 +108,9 @@ impl MpiSim {
     /// Look up a channel; panics with context when the program sends on an
     /// unregistered route (a matching bug).
     pub fn channel(&self, src: usize, dst: usize, tag: u32) -> &Arc<Channel> {
-        self.channels.get(&(src, dst, tag)).unwrap_or_else(|| {
-            panic!("no MPI channel {src} -> {dst} tag {tag}")
-        })
+        self.channels
+            .get(&(src, dst, tag))
+            .unwrap_or_else(|| panic!("no MPI channel {src} -> {dst} tag {tag}"))
     }
 
     /// Number of channels.

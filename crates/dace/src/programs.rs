@@ -198,7 +198,10 @@ impl Jacobi1dSetup {
 /// possible, preferring more columns (n=2 → 1×2, n=8 → 2×4 — the
 /// rectangular splits behind Fig 6.3b's bumps at non-multiples of 4).
 pub fn process_grid(n: usize) -> (usize, usize) {
-    assert!(n.is_power_of_two(), "process grid needs a power-of-two PE count");
+    assert!(
+        n.is_power_of_two(),
+        "process grid needs a power-of-two PE count"
+    );
     let log = n.trailing_zeros();
     let pc = 1usize << log.div_ceil(2);
     (n / pc, pc)
@@ -242,10 +245,16 @@ impl Jacobi2dSetup {
 
         // Subsets of the local (rows+2) x (cols+2) array.
         let row = |i: Expr| -> Vec<DimRange> {
-            vec![DimRange::idx(i), DimRange::range(Expr::c(1), cols_e.clone())]
+            vec![
+                DimRange::idx(i),
+                DimRange::range(Expr::c(1), cols_e.clone()),
+            ]
         };
         let col = |j: Expr| -> Vec<DimRange> {
-            vec![DimRange::range(Expr::c(1), rows_e.clone()), DimRange::idx(j)]
+            vec![
+                DimRange::range(Expr::c(1), rows_e.clone()),
+                DimRange::idx(j),
+            ]
         };
 
         let exchange = |arr: &str, base: u32| -> State {
@@ -368,10 +377,7 @@ impl Jacobi2dSetup {
 
     /// Global grid extents including the fixed boundary ring.
     pub fn global_extents(&self) -> (usize, usize) {
-        (
-            self.pgrid.0 * self.rows + 2,
-            self.pgrid.1 * self.cols + 2,
-        )
+        (self.pgrid.0 * self.rows + 2, self.pgrid.1 * self.cols + 2)
     }
 
     fn pe_coords(&self, pe: usize) -> (usize, usize) {
@@ -436,8 +442,7 @@ impl Jacobi2dSetup {
             let (prow, pcol) = self.pe_coords(pe);
             for i in 1..=self.rows {
                 for j in 1..=self.cols {
-                    full[(prow * self.rows + i) * gc + (pcol * self.cols + j)] =
-                        local[i * lc + j];
+                    full[(prow * self.rows + i) * gc + (pcol * self.cols + j)] = local[i * lc + j];
                 }
             }
         }
@@ -495,7 +500,7 @@ mod tests {
         assert_eq!(s.pgrid, (2, 4));
         let local = s.init_local(5, "A");
         // PE 5 is (prow=1, pcol=1); local (1,1) = global (1*4+1, 1*6+1).
-        assert_eq!(local[1 * 8 + 1], init2d_value(5, 7));
+        assert_eq!(local[8 + 1], init2d_value(5, 7));
     }
 
     #[test]

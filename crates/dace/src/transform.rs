@@ -142,9 +142,10 @@ pub fn gpu_persistent_kernel(sdfg: &mut Sdfg) -> Result<(), TransformError> {
                                         ))
                                     }
                                     Op::Map(m) if m.schedule == Schedule::Sequential => {
-                                        return Err(TransformError::NotDeviceSchedulable(
-                                            format!("sequential map `{}`", m.name),
-                                        ))
+                                        return Err(TransformError::NotDeviceSchedulable(format!(
+                                            "sequential map `{}`",
+                                            m.name
+                                        )))
                                     }
                                     _ => {}
                                 }
@@ -189,17 +190,15 @@ pub fn nvshmem_array(sdfg: &mut Sdfg) -> usize {
     let mut remote: BTreeSet<String> = BTreeSet::new();
     sdfg.visit_states(&mut |state| {
         for op in &state.ops {
-            if let Op::Lib(lib) = &op.op {
-                match lib {
-                    LibNode::PutmemSignal { dst, .. }
-                    | LibNode::PutmemSignalBlock { dst, .. }
-                    | LibNode::PutMapped { dst, .. }
-                    | LibNode::Iput { dst, .. }
-                    | LibNode::PutSingle { dst, .. } => {
-                        remote.insert(dst.array.clone());
-                    }
-                    _ => {}
-                }
+            if let Op::Lib(
+                LibNode::PutmemSignal { dst, .. }
+                | LibNode::PutmemSignalBlock { dst, .. }
+                | LibNode::PutMapped { dst, .. }
+                | LibNode::Iput { dst, .. }
+                | LibNode::PutSingle { dst, .. },
+            ) = &op.op
+            {
+                remote.insert(dst.array.clone());
             }
         }
     });
@@ -283,9 +282,7 @@ pub fn mpi_to_nvshmem_with(
             let guard = op.guard.clone();
             match op.op {
                 Op::Lib(LibNode::MpiIsend { buf, dest, tag }) => {
-                    let Some((_, recv_buf)) =
-                        recv_by_tag.iter().find(|(t, _)| *t == tag)
-                    else {
+                    let Some((_, recv_buf)) = recv_by_tag.iter().find(|(t, _)| *t == tag) else {
                         error = Some(TransformError::UnmatchedMessage(tag));
                         return;
                     };
@@ -306,7 +303,10 @@ pub fn mpi_to_nvshmem_with(
                                 pe: dest,
                             },
                         };
-                        new_ops.push(GuardedOp { guard, op: Op::Lib(op) });
+                        new_ops.push(GuardedOp {
+                            guard,
+                            op: Op::Lib(op),
+                        });
                     } else {
                         // iput + quiet + manual signal (§5.3.1).
                         new_ops.push(GuardedOp {

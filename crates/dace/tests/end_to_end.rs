@@ -7,7 +7,10 @@ use dace_sim::transform::{gpu_transform, to_cpu_free};
 use gpu_sim::ExecMode;
 
 fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[test]
@@ -193,29 +196,49 @@ fn cpu_free_improvement_larger_in_2d_strided() {
     let s1 = Jacobi1dSetup::new(4096, t, 4);
     let mut b1 = s1.sdfg.clone();
     gpu_transform(&mut b1);
-    let d1 = run_discrete(&b1, 4, &s1.user_bindings(), t, ExecMode::TimingOnly, &|pe, a| {
-        s1.init_local(pe, a)
-    })
+    let d1 = run_discrete(
+        &b1,
+        4,
+        &s1.user_bindings(),
+        t,
+        ExecMode::TimingOnly,
+        &|pe, a| s1.init_local(pe, a),
+    )
     .unwrap();
     let mut f1 = s1.sdfg.clone();
     to_cpu_free(&mut f1).unwrap();
-    let p1 = run_persistent(&f1, 4, &s1.user_bindings(), t, ExecMode::TimingOnly, &|pe, a| {
-        s1.init_local(pe, a)
-    })
+    let p1 = run_persistent(
+        &f1,
+        4,
+        &s1.user_bindings(),
+        t,
+        ExecMode::TimingOnly,
+        &|pe, a| s1.init_local(pe, a),
+    )
     .unwrap();
 
     let s2 = Jacobi2dSetup::new(256, 256, t, 4);
     let mut b2 = s2.sdfg.clone();
     gpu_transform(&mut b2);
-    let d2 = run_discrete(&b2, 4, &s2.user_bindings(), t, ExecMode::TimingOnly, &|pe, a| {
-        s2.init_local(pe, a)
-    })
+    let d2 = run_discrete(
+        &b2,
+        4,
+        &s2.user_bindings(),
+        t,
+        ExecMode::TimingOnly,
+        &|pe, a| s2.init_local(pe, a),
+    )
     .unwrap();
     let mut f2 = s2.sdfg.clone();
     to_cpu_free(&mut f2).unwrap();
-    let p2 = run_persistent(&f2, 4, &s2.user_bindings(), t, ExecMode::TimingOnly, &|pe, a| {
-        s2.init_local(pe, a)
-    })
+    let p2 = run_persistent(
+        &f2,
+        4,
+        &s2.user_bindings(),
+        t,
+        ExecMode::TimingOnly,
+        &|pe, a| s2.init_local(pe, a),
+    )
     .unwrap();
 
     let imp1 = 1.0 - p1.total.as_nanos() as f64 / d1.total.as_nanos() as f64;
@@ -370,13 +393,20 @@ fn put_mapped_node_transfers_correctly() {
             persistent: true,
         }],
     };
-    let out = run_persistent(&sdfg, 2, &Default::default(), 1, ExecMode::Full, &|pe, _| {
-        if pe == 0 {
-            vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]
-        } else {
-            vec![0.0; 8]
-        }
-    })
+    let out = run_persistent(
+        &sdfg,
+        2,
+        &Default::default(),
+        1,
+        ExecMode::Full,
+        &|pe, _| {
+            if pe == 0 {
+                vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]
+            } else {
+                vec![0.0; 8]
+            }
+        },
+    )
     .unwrap();
     assert_eq!(&out.finals["A"][1][4..8], &[1.0, 2.0, 3.0, 4.0]);
 }

@@ -1,16 +1,28 @@
 //! The agent-side API: what simulated code is written against.
 
-use crate::engine::{spawn_agent, Request, Shared, ShutdownUnwind, Turn};
+use crate::engine::SimError;
+use crate::engine::{spawn_agent, AbortSim, BlockedInfo, Request, Shared, ShutdownUnwind, Turn};
+use crate::lock::Condvar;
 use crate::sync::{Barrier, Cmp, Flag, SignalOp};
 use crate::time::{SimDur, SimTime};
 use crate::trace::{Category, TraceSpan};
-use parking_lot::Condvar;
 use std::panic::resume_unwind;
 use std::sync::Arc;
 
 /// Identifies an agent within one engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AgentId(pub usize);
+
+/// Returned by deadline-bounded waits when the deadline expired first.
+///
+/// The wait is cancelled cleanly (the agent is removed from the flag /
+/// barrier waiter list) and virtual time equals exactly the deadline when
+/// the agent resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimedOut {
+    /// The deadline that expired.
+    pub deadline: SimTime,
+}
 
 /// Handle through which an agent interacts with virtual time and its peers.
 ///
@@ -90,7 +102,67 @@ impl AgentCtx {
 
     /// Block until `flag <cmp> value` holds (no trace span).
     pub fn wait_flag(&mut self, flag: Flag, cmp: Cmp, value: u64) {
-        self.handoff(Request::WaitFlag { flag, cmp, value });
+        self.handoff(Request::WaitFlag {
+            flag,
+            cmp,
+            value,
+            deadline: None,
+            expected_from: None,
+        });
+    }
+
+    /// Like [`AgentCtx::wait_flag`], but annotates the wait with the identity
+    /// label of the peer expected to deliver the signal (a wait-for-graph
+    /// edge, see [`AgentCtx::set_identity`]). Used by deadlock / timeout
+    /// diagnosis to report cycles instead of a flat blocked list.
+    pub fn wait_flag_from(&mut self, flag: Flag, cmp: Cmp, value: u64, from: impl Into<String>) {
+        self.handoff(Request::WaitFlag {
+            flag,
+            cmp,
+            value,
+            deadline: None,
+            expected_from: Some(from.into()),
+        });
+    }
+
+    /// Block until `flag <cmp> value` holds, or until the virtual-time
+    /// `deadline` expires — whichever comes first.
+    ///
+    /// On timeout the agent resumes at exactly `deadline` (never later) with
+    /// `Err(WaitTimedOut)`, and is removed from the flag's waiter list. An
+    /// unexpired deadline never perturbs virtual time.
+    pub fn wait_flag_until(
+        &mut self,
+        flag: Flag,
+        cmp: Cmp,
+        value: u64,
+        deadline: SimTime,
+    ) -> Result<(), WaitTimedOut> {
+        self.wait_flag_deadline(flag, cmp, value, deadline, None)
+    }
+
+    /// The general deadline wait: both a deadline and an optional declared
+    /// sender identity.
+    pub fn wait_flag_deadline(
+        &mut self,
+        flag: Flag,
+        cmp: Cmp,
+        value: u64,
+        deadline: SimTime,
+        expected_from: Option<String>,
+    ) -> Result<(), WaitTimedOut> {
+        self.handoff(Request::WaitFlag {
+            flag,
+            cmp,
+            value,
+            deadline: Some(deadline),
+            expected_from,
+        });
+        if self.shared.central.lock().take_timed_out(self.id) {
+            Err(WaitTimedOut { deadline })
+        } else {
+            Ok(())
+        }
     }
 
     /// Block until `flag <cmp> value` holds, recording the wait as a span.
@@ -110,7 +182,71 @@ impl AgentCtx {
 
     /// Arrive at an N-party barrier and block until all parties arrive.
     pub fn barrier(&mut self, barrier: Barrier) {
-        self.handoff(Request::Barrier(barrier));
+        self.handoff(Request::Barrier {
+            barrier,
+            deadline: None,
+        });
+    }
+
+    /// Arrive at a barrier, but give up (withdraw the arrival) if the
+    /// barrier has not released by `deadline`. On timeout the agent is
+    /// removed from the barrier's arrival list, so a later re-arrival starts
+    /// fresh — engine barriers keep no round memory.
+    pub fn barrier_until(
+        &mut self,
+        barrier: Barrier,
+        deadline: SimTime,
+    ) -> Result<(), WaitTimedOut> {
+        self.handoff(Request::Barrier {
+            barrier,
+            deadline: Some(deadline),
+        });
+        if self.shared.central.lock().take_timed_out(self.id) {
+            Err(WaitTimedOut { deadline })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Declare this agent's logical identity (e.g. `"pe3"`), the node label
+    /// used in wait-for-graph diagnostics.
+    pub fn set_identity(&self, identity: impl Into<String>) {
+        self.shared
+            .central
+            .lock()
+            .set_identity(self.id, identity.into());
+    }
+
+    /// Snapshot of every live blocked agent (for watchdog agents).
+    pub fn blocked_agents(&self) -> Vec<BlockedInfo> {
+        self.shared.central.lock().blocked_snapshot()
+    }
+
+    /// Current wait-for cycle among blocked agents, if any (agent names).
+    pub fn wait_cycle(&self) -> Vec<String> {
+        self.shared.central.lock().wait_cycle()
+    }
+
+    /// Build an attributed [`SimError::Timeout`] from this agent's view,
+    /// capturing the current wait-for cycle. Pair with [`AgentCtx::abort`].
+    pub fn timeout_error(&self, waiting_on: impl Into<String>, deadline: SimTime) -> SimError {
+        let g = self.shared.central.lock();
+        SimError::Timeout {
+            time: g.clock,
+            agent: g.agent_name(self.id).to_string(),
+            waiting_on: waiting_on.into(),
+            deadline,
+            cycle: g.wait_cycle(),
+        }
+    }
+
+    /// Abort the whole simulation with a structured error.
+    ///
+    /// The error surfaces as the `Err` of [`Engine::run`](crate::Engine::run)
+    /// (not as an `AgentPanic`); every other agent is unwound and joined.
+    /// This is how watchdogs convert silent hangs into attributed diagnoses.
+    pub fn abort(&self, err: SimError) -> ! {
+        resume_unwind(Box::new(AbortSim(err)))
     }
 
     /// Barrier arrival recorded as a trace span (category usually `Sync`).

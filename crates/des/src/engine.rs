@@ -21,10 +21,10 @@
 //! layers above).
 
 use crate::agent::{AgentCtx, AgentId};
+use crate::lock::{Condvar, Mutex};
 use crate::sync::{Barrier, Cmp, Flag, SignalOp};
 use crate::time::{SimDur, SimTime};
 use crate::trace::{Trace, TraceSpan};
-use parking_lot::{Condvar, Mutex};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -41,6 +41,10 @@ pub enum SimError {
         time: SimTime,
         /// `name: blocked-on` diagnostics for every stuck agent.
         blocked: Vec<String>,
+        /// Agent names forming a wait-for cycle, when the blocked agents'
+        /// declared wait-for edges (see [`AgentCtx::wait_flag_from`]) close
+        /// one; empty when no cycle could be established.
+        cycle: Vec<String>,
     },
     /// An agent closure panicked.
     AgentPanic {
@@ -49,12 +53,31 @@ pub enum SimError {
         /// Rendered panic payload.
         message: String,
     },
+    /// A deadline wait expired (or a watchdog diagnosed a stall) and the
+    /// simulation was aborted with attribution.
+    Timeout {
+        /// Virtual time at which the timeout fired.
+        time: SimTime,
+        /// Name of the agent that timed out (or was diagnosed as stuck).
+        agent: String,
+        /// What the agent was waiting for.
+        waiting_on: String,
+        /// The deadline that expired.
+        deadline: SimTime,
+        /// Agent names forming a wait-for cycle at diagnosis time (empty
+        /// when the stall is not a cyclic wait).
+        cycle: Vec<String>,
+    },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { time, blocked } => {
+            SimError::Deadlock {
+                time,
+                blocked,
+                cycle,
+            } => {
                 write!(f, "simulation deadlocked at {time}; blocked agents: ")?;
                 for (i, b) in blocked.iter().enumerate() {
                     if i > 0 {
@@ -62,10 +85,29 @@ impl fmt::Display for SimError {
                     }
                     write!(f, "{b}")?;
                 }
+                if !cycle.is_empty() {
+                    write!(f, "; wait-for cycle: {}", cycle.join(" -> "))?;
+                }
                 Ok(())
             }
             SimError::AgentPanic { agent, message } => {
                 write!(f, "agent `{agent}` panicked: {message}")
+            }
+            SimError::Timeout {
+                time,
+                agent,
+                waiting_on,
+                deadline,
+                cycle,
+            } => {
+                write!(
+                    f,
+                    "agent `{agent}` timed out at {time} (deadline {deadline}) waiting on {waiting_on}"
+                )?;
+                if !cycle.is_empty() {
+                    write!(f, "; wait-for cycle: {}", cycle.join(" -> "))?;
+                }
+                Ok(())
             }
         }
     }
@@ -73,28 +115,84 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Diagnostic snapshot of one blocked agent (for watchdogs).
+#[derive(Debug, Clone)]
+pub struct BlockedInfo {
+    /// The agent's name.
+    pub name: String,
+    /// The agent's declared identity label (e.g. `"pe3"`), if any.
+    pub identity: Option<String>,
+    /// Human-readable description of what it is blocked on.
+    pub blocked_on: String,
+    /// Identity label of the peer it declared it is waiting for, if any.
+    pub waiting_for: Option<String>,
+}
+
+/// How an agent's closure ended.
+pub(crate) enum FinishKind {
+    /// Returned normally.
+    Ok,
+    /// Panicked with the rendered message.
+    Panic(String),
+    /// Requested a structured simulation abort (see [`AgentCtx::abort`]).
+    Abort(SimError),
+}
+
+/// Panic payload used by [`AgentCtx::abort`] to carry a structured
+/// [`SimError`] out of an agent closure.
+pub(crate) struct AbortSim(pub(crate) SimError);
+
 /// What an agent asks of the scheduler when it hands control back.
 pub(crate) enum Request {
     /// Charge virtual time, resume at `now + dur`.
     Advance(SimDur),
-    /// Block until the flag satisfies `cmp value`.
-    WaitFlag { flag: Flag, cmp: Cmp, value: u64 },
-    /// Block on an N-party barrier.
-    Barrier(Barrier),
+    /// Block until the flag satisfies `cmp value`, optionally bounded by a
+    /// virtual-time deadline and annotated with the identity of the peer the
+    /// agent expects the signal from (wait-for-graph edge).
+    WaitFlag {
+        flag: Flag,
+        cmp: Cmp,
+        value: u64,
+        deadline: Option<SimTime>,
+        expected_from: Option<String>,
+    },
+    /// Block on an N-party barrier, optionally bounded by a deadline.
+    Barrier {
+        barrier: Barrier,
+        deadline: Option<SimTime>,
+    },
     /// Resume after other same-time work.
     Yield,
-    /// Agent closure returned (or panicked with the given message).
-    Finished(Option<String>),
+    /// Agent closure ended.
+    Finished(FinishKind),
 }
 
 /// A queue entry: something that happens at a virtual time.
 enum Action {
     Resume(AgentId),
-    Signal { flag: Flag, op: SignalOp, value: u64 },
+    Signal {
+        flag: Flag,
+        op: SignalOp,
+        value: u64,
+    },
     /// Run a side-effect closure (e.g. materialize DMA data at completion
     /// time). Executed on the scheduler thread, outside the engine lock; the
     /// closure must not call back into the engine.
     Call(Box<dyn FnOnce() + Send>),
+    /// A deadline for a bounded wait. Stale once the agent's wait epoch has
+    /// moved on (the wait completed first); stale fires are skipped WITHOUT
+    /// advancing the clock so unexpired deadlines never distort end times.
+    TimeoutFire {
+        agent: AgentId,
+        epoch: u64,
+    },
+}
+
+/// What a blocked agent is parked on (used to unhook it on timeout).
+#[derive(Clone, Copy)]
+enum WaitTarget {
+    Flag(Flag),
+    Barrier(Barrier),
 }
 
 struct Scheduled {
@@ -143,6 +241,19 @@ struct AgentSlot {
     alive: bool,
     /// Human-readable description of what the agent is blocked on.
     blocked_on: Option<String>,
+    /// Logical identity (e.g. `"pe2"`) used as the node label in the
+    /// wait-for graph. Set via [`AgentCtx::set_identity`].
+    identity: Option<String>,
+    /// Identity of the peer this agent declared it is waiting for
+    /// (wait-for-graph edge); cleared when the wait completes.
+    waiting_for: Option<String>,
+    /// The flag/barrier the agent is currently parked on, if any.
+    wait_target: Option<WaitTarget>,
+    /// Bumped on every blocking wait; guards [`Action::TimeoutFire`]
+    /// staleness.
+    wait_epoch: u64,
+    /// Set by a fired timeout; consumed by the agent when it resumes.
+    timed_out: bool,
 }
 
 pub(crate) struct Central {
@@ -197,9 +308,85 @@ impl Central {
             }
         });
         for agent in woken {
-            self.agents[agent.0].blocked_on = None;
+            self.clear_wait(agent);
             self.push(at, Action::Resume(agent));
         }
+    }
+
+    /// Forget a completed (or cancelled) blocking wait.
+    fn clear_wait(&mut self, agent: AgentId) {
+        let slot = &mut self.agents[agent.0];
+        slot.blocked_on = None;
+        slot.waiting_for = None;
+        slot.wait_target = None;
+    }
+
+    pub(crate) fn set_identity(&mut self, id: AgentId, identity: String) {
+        self.agents[id.0].identity = Some(identity);
+    }
+
+    /// Consume the agent's timed-out marker (set by a fired deadline).
+    pub(crate) fn take_timed_out(&mut self, id: AgentId) -> bool {
+        std::mem::take(&mut self.agents[id.0].timed_out)
+    }
+
+    /// Snapshot of every live blocked agent, for watchdog diagnosis.
+    pub(crate) fn blocked_snapshot(&self) -> Vec<BlockedInfo> {
+        self.agents
+            .iter()
+            .filter(|a| a.alive && a.blocked_on.is_some())
+            .map(|a| BlockedInfo {
+                name: a.name.clone(),
+                identity: a.identity.clone(),
+                blocked_on: a.blocked_on.clone().unwrap_or_default(),
+                waiting_for: a.waiting_for.clone(),
+            })
+            .collect()
+    }
+
+    /// Find a wait-for cycle among blocked agents, following the
+    /// `waiting_for` edges declared via `expected_from` annotations. Edges
+    /// point at identity labels; when several agents share an identity the
+    /// graph is a heuristic (the last registrant wins), which is fine for
+    /// diagnostics. Returns the agent NAMES on the first cycle found, or an
+    /// empty vector if the blocked set is acyclic / unannotated.
+    pub(crate) fn wait_cycle(&self) -> Vec<String> {
+        let mut by_identity: std::collections::HashMap<&str, usize> =
+            std::collections::HashMap::new();
+        for (i, a) in self.agents.iter().enumerate() {
+            if a.alive && a.wait_target.is_some() {
+                if let Some(ident) = a.identity.as_deref() {
+                    by_identity.insert(ident, i);
+                }
+            }
+        }
+        for (start, a) in self.agents.iter().enumerate() {
+            if !(a.alive && a.wait_target.is_some()) {
+                continue;
+            }
+            let mut path: Vec<usize> = Vec::new();
+            let mut cur = start;
+            loop {
+                if let Some(pos) = path.iter().position(|&p| p == cur) {
+                    return path[pos..]
+                        .iter()
+                        .map(|&p| self.agents[p].name.clone())
+                        .collect();
+                }
+                path.push(cur);
+                let Some(next_ident) = self.agents[cur].waiting_for.as_deref() else {
+                    break;
+                };
+                let Some(&next) = by_identity.get(next_ident) else {
+                    break;
+                };
+                if !(self.agents[next].alive && self.agents[next].wait_target.is_some()) {
+                    break;
+                }
+                cur = next;
+            }
+        }
+        Vec::new()
     }
 
     pub(crate) fn flag_value(&self, flag: Flag) -> u64 {
@@ -323,6 +510,16 @@ impl Engine {
         self.shared.central.lock().clock
     }
 
+    /// Snapshot of every live blocked agent (for watchdog diagnosis).
+    pub fn blocked_agents(&self) -> Vec<BlockedInfo> {
+        self.shared.central.lock().blocked_snapshot()
+    }
+
+    /// Current wait-for cycle among blocked agents, if any (agent names).
+    pub fn wait_cycle(&self) -> Vec<String> {
+        self.shared.central.lock().wait_cycle()
+    }
+
     /// Spawn an agent, runnable at the current virtual time.
     ///
     /// Returns its id. The closure runs on a dedicated OS thread, but only
@@ -367,11 +564,43 @@ impl Engine {
                         )
                     })
                     .collect();
-                return Err(SimError::Deadlock { time, blocked });
+                let cycle = g.wait_cycle();
+                return Err(SimError::Deadlock {
+                    time,
+                    blocked,
+                    cycle,
+                });
             };
+            if let Action::TimeoutFire { agent, epoch } = next.action {
+                let live = {
+                    let slot = &g.agents[agent.0];
+                    slot.alive && slot.wait_epoch == epoch && slot.wait_target.is_some()
+                };
+                if !live {
+                    // The wait completed first; drop the deadline WITHOUT
+                    // touching the clock so it cannot distort end times.
+                    continue;
+                }
+                g.clock = next.time;
+                match g.agents[agent.0].wait_target {
+                    Some(WaitTarget::Flag(f)) => {
+                        g.flags[f.0].waiters.retain(|&(a, _, _)| a != agent);
+                    }
+                    Some(WaitTarget::Barrier(b)) => {
+                        g.barriers[b.0].waiting.retain(|&a| a != agent);
+                    }
+                    None => unreachable!("live timeout without wait target"),
+                }
+                g.clear_wait(agent);
+                g.agents[agent.0].timed_out = true;
+                let t = g.clock;
+                g.push(t, Action::Resume(agent));
+                continue;
+            }
             debug_assert!(next.time >= g.clock, "time went backwards");
             g.clock = next.time;
             match next.action {
+                Action::TimeoutFire { .. } => unreachable!("handled above"),
                 Action::Signal { flag, op, value } => {
                     let at = g.clock;
                     g.apply_signal(flag, op, value, at);
@@ -398,33 +627,62 @@ impl Engine {
                             let t = g.clock + dur;
                             g.push(t, Action::Resume(agent));
                         }
-                        Request::WaitFlag { flag, cmp, value } => {
+                        Request::WaitFlag {
+                            flag,
+                            cmp,
+                            value,
+                            deadline,
+                            expected_from,
+                        } => {
                             if cmp.eval(g.flags[flag.0].value, value) {
                                 let t = g.clock;
                                 g.push(t, Action::Resume(agent));
                             } else {
-                                g.agents[agent.0].blocked_on =
-                                    Some(format!("flag #{} {:?} {}", flag.0, cmp, value));
+                                let epoch = {
+                                    let slot = &mut g.agents[agent.0];
+                                    slot.blocked_on =
+                                        Some(format!("flag #{} {:?} {}", flag.0, cmp, value));
+                                    slot.waiting_for = expected_from;
+                                    slot.wait_target = Some(WaitTarget::Flag(flag));
+                                    slot.wait_epoch += 1;
+                                    slot.wait_epoch
+                                };
                                 g.flags[flag.0].waiters.push((agent, cmp, value));
+                                if let Some(d) = deadline {
+                                    let d = d.max(g.clock);
+                                    g.push(d, Action::TimeoutFire { agent, epoch });
+                                }
                             }
                         }
-                        Request::Barrier(b) => {
-                            g.agents[agent.0].blocked_on = Some(format!("barrier #{}", b.0));
+                        Request::Barrier {
+                            barrier: b,
+                            deadline,
+                        } => {
+                            let epoch = {
+                                let slot = &mut g.agents[agent.0];
+                                slot.blocked_on = Some(format!("barrier #{}", b.0));
+                                slot.wait_target = Some(WaitTarget::Barrier(b));
+                                slot.wait_epoch += 1;
+                                slot.wait_epoch
+                            };
                             g.barriers[b.0].waiting.push(agent);
                             if g.barriers[b.0].waiting.len() == g.barriers[b.0].parties {
                                 let t = g.clock;
                                 let woken = std::mem::take(&mut g.barriers[b.0].waiting);
                                 for w in woken {
-                                    g.agents[w.0].blocked_on = None;
+                                    g.clear_wait(w);
                                     g.push(t, Action::Resume(w));
                                 }
+                            } else if let Some(d) = deadline {
+                                let d = d.max(g.clock);
+                                g.push(d, Action::TimeoutFire { agent, epoch });
                             }
                         }
                         Request::Yield => {
                             let t = g.clock;
                             g.push(t, Action::Resume(agent));
                         }
-                        Request::Finished(panic_msg) => {
+                        Request::Finished(kind) => {
                             g.agents[agent.0].alive = false;
                             g.live_agents -= 1;
                             if let Some(h) = g.agents[agent.0].handle.take() {
@@ -434,12 +692,16 @@ impl Engine {
                                 let _ = h.join();
                                 g = self.shared.central.lock();
                             }
-                            if let Some(message) = panic_msg {
-                                let agent_name = g.agents[agent.0].name.clone();
-                                return Err(SimError::AgentPanic {
-                                    agent: agent_name,
-                                    message,
-                                });
+                            match kind {
+                                FinishKind::Ok => {}
+                                FinishKind::Panic(message) => {
+                                    let agent_name = g.agents[agent.0].name.clone();
+                                    return Err(SimError::AgentPanic {
+                                        agent: agent_name,
+                                        message,
+                                    });
+                                }
+                                FinishKind::Abort(err) => return Err(err),
                             }
                         }
                     }
@@ -461,8 +723,11 @@ impl Engine {
         for cv in &cvs {
             cv.notify_all();
         }
-        let handles: Vec<JoinHandle<()>> =
-            g.agents.iter_mut().filter_map(|a| a.handle.take()).collect();
+        let handles: Vec<JoinHandle<()>> = g
+            .agents
+            .iter_mut()
+            .filter_map(|a| a.handle.take())
+            .collect();
         drop(g);
         for h in handles {
             let _ = h.join();
@@ -494,6 +759,11 @@ where
             handle: None,
             alive: true,
             blocked_on: None,
+            identity: None,
+            waiting_for: None,
+            wait_target: None,
+            wait_epoch: 0,
+            timed_out: false,
         });
         g.live_agents += 1;
         let t = g.clock;
@@ -516,20 +786,24 @@ where
             }
             let mut ctx = AgentCtx::new(Arc::clone(&thread_shared), id, Arc::clone(&thread_cv));
             let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
-            let panic_msg = match result {
-                Ok(()) => None,
-                Err(payload) => {
-                    if payload.downcast_ref::<ShutdownUnwind>().is_some() {
-                        // Engine-initiated unwind: exit silently, the engine
-                        // is already tearing down and holds no expectations.
-                        return;
+            let kind = match result {
+                Ok(()) => FinishKind::Ok,
+                Err(payload) => match payload.downcast::<AbortSim>() {
+                    Ok(abort) => FinishKind::Abort(abort.0),
+                    Err(payload) => {
+                        if payload.downcast_ref::<ShutdownUnwind>().is_some() {
+                            // Engine-initiated unwind: exit silently, the
+                            // engine is already tearing down and holds no
+                            // expectations.
+                            return;
+                        }
+                        FinishKind::Panic(render_panic(&*payload))
                     }
-                    Some(render_panic(&*payload))
-                }
+                },
             };
             // Final handoff: report completion to the scheduler.
             let mut g = thread_shared.central.lock();
-            g.request = Some((id, Request::Finished(panic_msg)));
+            g.request = Some((id, Request::Finished(kind)));
             g.turn = Turn::Scheduler;
             thread_shared.sched_cv.notify_one();
         })

@@ -21,12 +21,15 @@
 
 mod agent;
 mod engine;
+pub mod fault;
+pub mod lock;
 mod sync;
 mod time;
 pub mod trace;
 
-pub use agent::{AgentCtx, AgentId};
-pub use engine::{Engine, SimError};
+pub use agent::{AgentCtx, AgentId, WaitTimedOut};
+pub use engine::{BlockedInfo, Engine, SimError};
+pub use fault::{CrashFault, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault};
 pub use sync::{Barrier, Cmp, Flag, SignalOp};
 pub use time::{ms, ns, us, SimDur, SimTime};
 pub use trace::{Category, Trace, TraceSpan};
@@ -261,6 +264,107 @@ mod tests {
             assert!(w2.load(Ordering::SeqCst), "data visible before signal");
         });
         engine.run().unwrap();
+    }
+
+    #[test]
+    fn deadline_wait_times_out_at_exact_deadline() {
+        let engine = Engine::new();
+        let f = engine.flag(0);
+        engine.spawn("bounded", move |ctx| {
+            let deadline = ctx.now() + us(25.0);
+            let r = ctx.wait_flag_until(f, Cmp::Ge, 1, deadline);
+            assert_eq!(r, Err(WaitTimedOut { deadline }));
+            // Resumes at exactly the deadline, never later.
+            assert_eq!(ctx.now(), deadline);
+        });
+        assert_eq!(engine.run().unwrap(), SimTime::ZERO + us(25.0));
+    }
+
+    #[test]
+    fn unexpired_deadline_does_not_distort_end_time() {
+        // The wait completes at t=5 with a deadline at t=1000; the stale
+        // timeout event must NOT drag the end time to 1000.
+        let engine = Engine::new();
+        let f = engine.flag(0);
+        engine.spawn("producer", move |ctx| {
+            ctx.advance(us(5.0));
+            ctx.signal(f, SignalOp::Set, 1);
+        });
+        engine.spawn("consumer", move |ctx| {
+            let deadline = ctx.now() + us(1000.0);
+            assert_eq!(ctx.wait_flag_until(f, Cmp::Ge, 1, deadline), Ok(()));
+            assert_eq!(ctx.now(), SimTime::ZERO + us(5.0));
+        });
+        assert_eq!(engine.run().unwrap(), SimTime::ZERO + us(5.0));
+    }
+
+    #[test]
+    fn barrier_until_withdraws_arrival_on_timeout() {
+        // First arrival gives up at t=10; the partner arrives at t=20 and
+        // waits; the first agent re-arrives at t=30 and both release.
+        let engine = Engine::new();
+        let b = engine.barrier(2);
+        engine.spawn("flaky", move |ctx| {
+            let r = ctx.barrier_until(b, ctx.now() + us(10.0));
+            assert!(r.is_err());
+            ctx.advance(us(20.0));
+            ctx.barrier(b);
+            assert_eq!(ctx.now(), SimTime::ZERO + us(30.0));
+        });
+        engine.spawn("steady", move |ctx| {
+            ctx.advance(us(20.0));
+            ctx.barrier(b);
+            assert_eq!(ctx.now(), SimTime::ZERO + us(30.0));
+        });
+        engine.run().unwrap();
+    }
+
+    #[test]
+    fn wait_for_cycle_is_reported_in_deadlock() {
+        let engine = Engine::new();
+        let fa = engine.flag(0);
+        let fb = engine.flag(0);
+        engine.spawn("left", move |ctx| {
+            ctx.set_identity("pe0");
+            ctx.wait_flag_from(fa, Cmp::Ge, 1, "pe1");
+        });
+        engine.spawn("right", move |ctx| {
+            ctx.set_identity("pe1");
+            ctx.wait_flag_from(fb, Cmp::Ge, 1, "pe0");
+        });
+        match engine.run() {
+            Err(SimError::Deadlock { cycle, .. }) => {
+                assert_eq!(cycle.len(), 2);
+                assert!(cycle.contains(&"left".to_string()));
+                assert!(cycle.contains(&"right".to_string()));
+            }
+            other => panic!("expected deadlock with cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_surfaces_structured_error() {
+        let engine = Engine::new();
+        engine.spawn("watchdog", move |ctx| {
+            ctx.advance(us(7.0));
+            let err = ctx.timeout_error("heartbeat pe2", ctx.now());
+            ctx.abort(err);
+        });
+        engine.spawn("hung", move |ctx| {
+            // Infinite busy loop the watchdog must terminate.
+            loop {
+                ctx.advance(us(1.0));
+            }
+        });
+        match engine.run() {
+            Err(SimError::Timeout {
+                agent, waiting_on, ..
+            }) => {
+                assert_eq!(agent, "watchdog");
+                assert!(waiting_on.contains("pe2"));
+            }
+            other => panic!("expected timeout abort, got {other:?}"),
+        }
     }
 
     #[test]

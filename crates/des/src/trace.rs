@@ -241,8 +241,8 @@ impl Trace {
             for s in spans {
                 let a = ((s.start.since(t0).as_nanos()) as u128 * width as u128 / total as u128)
                     as usize;
-                let b = ((s.end.since(t0).as_nanos()) as u128 * width as u128 / total as u128)
-                    as usize;
+                let b =
+                    ((s.end.since(t0).as_nanos()) as u128 * width as u128 / total as u128) as usize;
                 let b = b.clamp(a + 1, width).min(width);
                 let ch = match s.category {
                     Category::Compute => b'#',
@@ -259,7 +259,12 @@ impl Trace {
                     }
                 }
             }
-            let _ = writeln!(out, "{:name_w$} |{}|", name, String::from_utf8(row).unwrap());
+            let _ = writeln!(
+                out,
+                "{:name_w$} |{}|",
+                name,
+                String::from_utf8(row).unwrap()
+            );
         }
         out.push_str("legend: # compute  ~ comm  . sync-wait  L launch  a api\n");
         out

@@ -10,11 +10,10 @@
 //! what reproduce the paper's figures, and the tests in this workspace pin
 //! shapes, not constants.
 
-use serde::{Deserialize, Serialize};
 use sim_des::{us, SimDur};
 
 /// Calibrated latencies and bandwidths for the simulated node.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
     /// Host-visible latency of an asynchronous kernel launch enqueue (µs).
     pub kernel_launch_host_us: f64,
@@ -204,8 +203,7 @@ impl CostModel {
     /// Block-cooperative contiguous put (`nvshmemx_putmem_block`): the whole
     /// thread block drives the transfer, improving effective bandwidth.
     pub fn shmem_put_block(&self, bytes: u64) -> SimDur {
-        us(self.shmem_put_us)
-            + Self::bw_time(bytes, self.nvlink_gbps * self.shmem_block_bw_scale)
+        us(self.shmem_put_us) + Self::bw_time(bytes, self.nvlink_gbps * self.shmem_block_bw_scale)
     }
 
     /// Mapped single-element puts: `count` `nvshmem_<T>_p` calls issued by

@@ -1,10 +1,8 @@
 //! Static device description: what the co-residency check and occupancy
 //! reasoning are based on.
 
-use serde::{Deserialize, Serialize};
-
 /// Architectural parameters of a simulated GPU.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceSpec {
     /// Number of streaming multiprocessors.
     pub sm_count: u32,

@@ -9,7 +9,7 @@ use crate::kernel::{BlockGroup, CoopKernel, GridInfo, KernelCtx};
 use crate::machine::Machine;
 use crate::mem::{Buf, DevId};
 use crate::stream::{stream_agent_main, Stream, StreamOp, StreamShared};
-use parking_lot::Mutex;
+use sim_des::lock::Mutex;
 use sim_des::{AgentCtx, Barrier, Category, Cmp, Flag, SignalOp};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,11 +59,15 @@ impl<'a> HostCtx<'a> {
         });
         self.machine.inner.streams.lock().push(Arc::clone(&shared));
         let agent_name = shared.name.clone();
-        self.machine
-            .engine()
-            .spawn(agent_name, stream_agent_main(self.machine.clone(), Arc::clone(&shared)));
-        self.agent
-            .busy(Category::Api, "cudaStreamCreate", self.machine.cost().api_call());
+        self.machine.engine().spawn(
+            agent_name,
+            stream_agent_main(self.machine.clone(), Arc::clone(&shared)),
+        );
+        self.agent.busy(
+            Category::Api,
+            "cudaStreamCreate",
+            self.machine.cost().api_call(),
+        );
         Stream { shared }
     }
 
@@ -133,8 +137,11 @@ impl<'a> HostCtx<'a> {
     /// Record an event in stream order: `flag` is Set to `value` when the
     /// stream reaches this point (`cudaEventRecord`).
     pub fn record_event(&mut self, stream: &Stream, flag: Flag, value: u64) {
-        self.agent
-            .busy(Category::Api, "cudaEventRecord", self.machine.cost().event_op());
+        self.agent.busy(
+            Category::Api,
+            "cudaEventRecord",
+            self.machine.cost().event_op(),
+        );
         self.enqueue(stream, StreamOp::RecordEvent { flag, value });
     }
 

@@ -36,6 +36,7 @@ pub use host::HostCtx;
 pub use kernel::{BlockGroup, CoopKernel, GridInfo, KernelBody, KernelCtx};
 pub use machine::{ExecMode, Machine};
 pub use mem::{Buf, DevId, Place};
+pub use sim_des::{CrashFault, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault};
 pub use stream::Stream;
 
 #[cfg(test)]
@@ -71,7 +72,10 @@ mod tests {
             + cost.kernel_launch_device()
             + us(10.0)
             + cost.stream_sync();
-        assert_eq!(end.as_nanos(), (sim_des::SimTime::ZERO + expected).as_nanos());
+        assert_eq!(
+            end.as_nanos(),
+            (sim_des::SimTime::ZERO + expected).as_nanos()
+        );
     }
 
     #[test]
@@ -273,9 +277,8 @@ mod tests {
     #[test]
     fn device_bounds_checked() {
         let m = machine(2);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            m.alloc(DevId(5), "x", 1)
-        }));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.alloc(DevId(5), "x", 1)));
         assert!(r.is_err());
     }
 

@@ -5,8 +5,8 @@ use crate::device::DeviceSpec;
 use crate::host::HostCtx;
 use crate::mem::{Buf, DevId, Place};
 use crate::stream::StreamShared;
-use parking_lot::Mutex;
-use sim_des::{Barrier, Engine, Flag, SimError, SimTime, SignalOp, Trace};
+use sim_des::lock::Mutex;
+use sim_des::{Barrier, Engine, FaultPlan, FaultState, Flag, SignalOp, SimError, SimTime, Trace};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -29,6 +29,7 @@ pub(crate) struct MachineInner {
     pub(crate) host_count: AtomicUsize,
     pub(crate) hosts_done: Flag,
     pub(crate) ran: AtomicBool,
+    pub(crate) faults: Mutex<Arc<FaultState>>,
 }
 
 /// A simulated multi-GPU node.
@@ -78,8 +79,20 @@ impl Machine {
                 host_count: AtomicUsize::new(0),
                 hosts_done,
                 ran: AtomicBool::new(false),
+                faults: Mutex::new(FaultState::none()),
             }),
         }
+    }
+
+    /// Install a deterministic fault schedule. Must be called before the
+    /// communication contexts are created (i.e. before [`Machine::run`]).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.inner.faults.lock() = FaultState::new(plan);
+    }
+
+    /// The machine's shared fault state (fault-free by default).
+    pub fn faults(&self) -> Arc<FaultState> {
+        Arc::clone(&self.inner.faults.lock())
     }
 
     /// The underlying discrete-event engine.

@@ -6,7 +6,7 @@
 //! but *time* is charged separately through the cost model, so functional
 //! content and performance accounting stay decoupled.
 
-use parking_lot::Mutex;
+use sim_des::lock::Mutex;
 use std::fmt;
 use std::sync::Arc;
 

@@ -9,7 +9,7 @@
 use crate::kernel::{KernelBody, KernelCtx};
 use crate::machine::Machine;
 use crate::mem::{Buf, DevId, Place};
-use parking_lot::Mutex;
+use sim_des::lock::Mutex;
 use sim_des::{Category, Cmp, Flag, SignalOp};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -10,7 +10,7 @@
 
 use crate::{ShmemCtx, ShmemWorld, SymArray, SymSignal};
 use gpu_sim::KernelCtx;
-use sim_des::{Cmp, SignalOp};
+use sim_des::{Cmp, SignalOp, SimDur};
 
 /// Reduction operator for collectives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +80,32 @@ impl AllreduceWs {
     pub fn rounds(&self) -> usize {
         self.rounds
     }
+
+    /// The local call counter (signal epoch of the last completed call).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Rewind the local call counter — checkpoint/restart support. The
+    /// counter is a pure function of how many allreduces completed, so a
+    /// recovery protocol can recompute it from the checkpoint iteration.
+    pub fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
+    }
+
+    /// Reset this PE's *local* arrival and ack flags to the epoch `seq` —
+    /// the value they hold in a fault-free run after `seq` completed calls.
+    /// Part of rollback: wipes any flag advance from an abandoned call so a
+    /// post-restart wait cannot be satisfied by stale state. Only safe when
+    /// nothing is in flight toward this PE (quiet + barrier first).
+    pub fn reset_local(&self, ctx: &mut KernelCtx<'_>, me: usize, seq: u64) {
+        for k in 0..self.rounds {
+            ctx.agent_mut()
+                .signal(self.sigs[k].flag(me), SignalOp::Set, seq);
+            ctx.agent_mut()
+                .signal(self.acks[k].flag(me), SignalOp::Set, seq);
+        }
+    }
 }
 
 /// All-reduce a scalar across every PE. Exactly one agent per PE must call
@@ -97,9 +123,7 @@ pub fn allreduce_scalar(
     }
     ws.seq += 1;
     let me = sh.my_pe();
-    let scratch = ctx
-        .machine()
-        .alloc(ctx.device(), "allreduce.src", 1);
+    let scratch = ctx.machine().alloc(ctx.device(), "allreduce.src", 1);
     let mut acc = value;
     if n.is_power_of_two() {
         // Recursive doubling: at round k exchange with pe ^ 2^k.
@@ -180,6 +204,121 @@ pub fn allreduce_scalar(
     }
 }
 
+/// Fault-tolerant scalar allreduce: the same fixed-order recursive-doubling
+/// / ring exchange as [`allreduce_scalar`], hardened for fault-injected
+/// runs —
+///
+/// * every wait is **deadline-sliced**: between `poll`-long slices the
+///   `interrupted` predicate runs, and a `true` abandons the call (`None`),
+///   letting the caller join a rollback instead of waiting on a peer that
+///   restarted;
+/// * every put is **retried** ([`ShmemCtx::putmem_signal_reliable`]), so a
+///   dropped delivery inside the collective cannot hang the partner —
+///   extra attempts are accumulated into `retries`.
+///
+/// On `None` the workspace counter may have advanced past the abandoned
+/// epoch; recovery must rewind it ([`AllreduceWs::set_seq`]) and reset the
+/// local flags ([`AllreduceWs::reset_local`]) after the rollback barrier.
+#[allow(clippy::too_many_arguments)]
+pub fn allreduce_scalar_ft(
+    sh: &mut ShmemCtx,
+    ctx: &mut KernelCtx<'_>,
+    ws: &mut AllreduceWs,
+    value: f64,
+    op: ReduceOp,
+    poll: SimDur,
+    retries: &mut u64,
+    interrupted: &mut dyn FnMut(&ShmemCtx, &KernelCtx<'_>) -> bool,
+) -> Option<f64> {
+    let n = ws.n_pes;
+    if n == 1 {
+        return Some(value);
+    }
+    ws.seq += 1;
+    let me = sh.my_pe();
+    let scratch = ctx.machine().alloc(ctx.device(), "allreduce.src", 1);
+    // Interruptible wait on one of the workspace signals.
+    macro_rules! wait {
+        ($sig:expr, $val:expr) => {
+            loop {
+                if interrupted(sh, ctx) {
+                    return None;
+                }
+                let deadline = ctx.now() + poll;
+                if sh
+                    .signal_wait_until_deadline(ctx, $sig, Cmp::Ge, $val, deadline)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        };
+    }
+    if n.is_power_of_two() {
+        let mut acc = value;
+        for k in 0..ws.rounds {
+            let partner = me ^ (1 << k);
+            wait!(&ws.acks[k], ws.seq - 1);
+            scratch.set(0, acc);
+            *retries += (sh.putmem_signal_reliable(
+                ctx,
+                &ws.slots,
+                k,
+                &scratch,
+                0,
+                1,
+                &ws.sigs[k],
+                SignalOp::Set,
+                ws.seq,
+                partner,
+            ) - 1) as u64;
+            wait!(&ws.sigs[k], ws.seq);
+            let theirs = ws.slots.local(me).get(k);
+            sh.signal_op(ctx, &ws.acks[k], SignalOp::Set, ws.seq, partner);
+            acc = if partner < me {
+                op.combine(theirs, acc)
+            } else {
+                op.combine(acc, theirs)
+            };
+        }
+        Some(acc)
+    } else {
+        let mut values = vec![0.0f64; n];
+        values[me] = value;
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let mut forwarding = value;
+        for r in 0..n - 1 {
+            let slot = r.min(ws.rounds - 1);
+            wait!(&ws.acks[slot], ws.seq - 1);
+            scratch.set(0, forwarding);
+            *retries += (sh.putmem_signal_reliable(
+                ctx,
+                &ws.slots,
+                slot,
+                &scratch,
+                0,
+                1,
+                &ws.sigs[slot],
+                SignalOp::Set,
+                ws.seq,
+                right,
+            ) - 1) as u64;
+            wait!(&ws.sigs[slot], ws.seq);
+            let got = ws.slots.local(me).get(slot);
+            sh.signal_op(ctx, &ws.acks[slot], SignalOp::Set, ws.seq, left);
+            let origin = (me + n - r - 1) % n;
+            values[origin] = got;
+            forwarding = got;
+        }
+        let mut acc = values[0];
+        for v in &values[1..] {
+            acc = op.combine(acc, *v);
+        }
+        Some(acc)
+    }
+}
+
 /// Broadcast `len` elements of `arr` from `root`'s copy to every PE.
 /// Exactly one agent per PE must call this; blocking.
 pub fn broadcast(
@@ -219,10 +358,14 @@ pub fn reference_reduce(values: &[f64], op: ReduceOp, power_of_two: bool) -> f64
         let mut stride = 1;
         while stride < n {
             let mut next = vals.clone();
-            for i in 0..n {
+            for (i, slot) in next.iter_mut().enumerate() {
                 let partner = i ^ stride;
-                let (lo, hi) = if partner < i { (partner, i) } else { (i, partner) };
-                next[i] = op.combine(vals[lo], vals[hi]);
+                let (lo, hi) = if partner < i {
+                    (partner, i)
+                } else {
+                    (i, partner)
+                };
+                *slot = op.combine(vals[lo], vals[hi]);
             }
             // All entries in a block of 2*stride now agree.
             vals = next;
@@ -242,7 +385,7 @@ pub fn reference_reduce(values: &[f64], op: ReduceOp, power_of_two: bool) -> f64
 mod tests {
     use super::*;
     use gpu_sim::{BlockGroup, CostModel, DevId, ExecMode, Machine};
-    use parking_lot::Mutex;
+    use sim_des::lock::Mutex;
     use std::sync::Arc;
 
     fn run_allreduce(n: usize, values: Vec<f64>, op: ReduceOp) -> Vec<f64> {
@@ -250,10 +393,9 @@ mod tests {
         let world = ShmemWorld::init(&machine);
         let ws = AllreduceWs::new(&world);
         let results = Arc::new(Mutex::new(vec![0.0; n]));
-        for pe in 0..n {
+        for (pe, &value) in values.iter().enumerate().take(n) {
             let world = world.clone();
             let mut ws = ws.clone();
-            let value = values[pe];
             let results = Arc::clone(&results);
             machine.spawn_host(format!("rank{pe}"), move |host| {
                 let k = host.launch_cooperative(

@@ -26,10 +26,12 @@
 
 pub mod collectives;
 
-pub use collectives::{allreduce_scalar, broadcast, reference_reduce, AllreduceWs, ReduceOp};
+pub use collectives::{
+    allreduce_scalar, allreduce_scalar_ft, broadcast, reference_reduce, AllreduceWs, ReduceOp,
+};
 
-use gpu_sim::{Buf, DevId, KernelCtx, Machine};
-use sim_des::{Category, Cmp, Flag, SignalOp, SimDur, SimTime};
+use gpu_sim::{Buf, DevId, FaultState, KernelCtx, Machine};
+use sim_des::{Category, Cmp, Flag, SignalOp, SimDur, SimTime, WaitTimedOut};
 use std::sync::Arc;
 
 /// A symmetric array: one same-sized buffer per PE on the symmetric heap.
@@ -128,9 +130,7 @@ impl ShmemWorld {
 
     /// Allocate a symmetric signal cell, initialized to `init` on every PE.
     pub fn signal(&self, init: u64) -> SymSignal {
-        let flags = (0..self.n_pes())
-            .map(|_| self.machine.flag(init))
-            .collect();
+        let flags = (0..self.n_pes()).map(|_| self.machine.flag(init)).collect();
         SymSignal {
             flags: Arc::new(flags),
         }
@@ -152,15 +152,23 @@ pub struct ShmemCtx {
     pe: usize,
     /// Completion time of the latest outstanding non-blocking transfer.
     outstanding_until: SimTime,
+    /// The machine's fault schedule (fault-free by default).
+    faults: Arc<FaultState>,
 }
 
 impl ShmemCtx {
     /// Create the context for the PE owning `ctx`'s device.
+    ///
+    /// Also declares the agent's wait-for-graph identity as `"pe{n}"`, so
+    /// timeout / deadlock diagnoses can name PEs in cycle reports.
     pub fn new(world: &ShmemWorld, ctx: &KernelCtx<'_>) -> ShmemCtx {
+        let pe = ctx.device().0;
+        ctx.agent().set_identity(format!("pe{pe}"));
         ShmemCtx {
             world: world.clone(),
-            pe: ctx.device().0,
+            pe,
             outstanding_until: SimTime::ZERO,
+            faults: world.machine().faults(),
         }
     }
 
@@ -249,6 +257,11 @@ impl ShmemCtx {
     /// Composite put + remote signal (`nvshmemx_putmem_signal_nbi_block`):
     /// issues the transfer, and when the payload is delivered the signal on
     /// the destination PE is updated — the waiter observes data-then-flag.
+    ///
+    /// Subject to the machine's [`FaultState`]: a delivery falling inside a
+    /// drop window is silently lost (the issue cost is still charged), and
+    /// link-degradation windows stretch the delivery time. Fault-tolerant
+    /// protocols should use [`ShmemCtx::putmem_signal_reliable`].
     #[allow(clippy::too_many_arguments)]
     pub fn putmem_signal_nbi(
         &mut self,
@@ -263,11 +276,42 @@ impl ShmemCtx {
         sig_val: u64,
         pe: usize,
     ) {
+        self.putmem_signal_inner(
+            ctx, dst, dst_off, src, src_off, len, sig, sig_op, sig_val, pe,
+        );
+    }
+
+    /// Shared body of the drop-prone put-with-signal paths. Returns `false`
+    /// when the delivery was dropped by the fault schedule.
+    #[allow(clippy::too_many_arguments)]
+    fn putmem_signal_inner(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        dst: &SymArray,
+        dst_off: usize,
+        src: &Buf,
+        src_off: usize,
+        len: usize,
+        sig: &SymSignal,
+        sig_op: SignalOp,
+        sig_val: u64,
+        pe: usize,
+    ) -> bool {
         self.check_pe(pe);
         Self::assert_symmetric(dst, dst_off, len);
         let bytes = (len * 8) as u64;
         let issue = ctx.cost().shmem_signal();
-        let delivery = ctx.cost().shmem_put(bytes) + ctx.cost().shmem_signal();
+        if self.faults.is_active() && self.faults.should_drop(self.pe, pe) {
+            // Lost doorbell: the sender pays the issue latency but neither
+            // the payload nor the signal ever lands.
+            ctx.busy(
+                Category::Comm,
+                format!("putmem_signal_nbi->pe{pe} {len}el (dropped)"),
+                issue,
+            );
+            return false;
+        }
+        let delivery = self.faulted_delivery(ctx, pe, bytes);
         ctx.busy(
             Category::Comm,
             format!("putmem_signal_nbi->pe{pe} {len}el"),
@@ -285,6 +329,59 @@ impl ShmemCtx {
         let done_at = agent.now() + remaining;
         if done_at > self.outstanding_until {
             self.outstanding_until = done_at;
+        }
+        true
+    }
+
+    /// Delivery time for a put + trailing signal to `pe`, stretched by any
+    /// active link-degradation window: the transfer portion scales with the
+    /// inverse bandwidth multiplier, the signal portion with the latency
+    /// multiplier.
+    fn faulted_delivery(&self, ctx: &KernelCtx<'_>, pe: usize, bytes: u64) -> SimDur {
+        let put = ctx.cost().shmem_put(bytes);
+        let sig = ctx.cost().shmem_signal();
+        if !self.faults.is_active() {
+            return put + sig;
+        }
+        let (lat, inv_bw) = self.faults.link_mult(self.pe, pe, ctx.now());
+        put * inv_bw + sig * lat
+    }
+
+    /// Retrying put + signal for fault-tolerant protocols: on a dropped
+    /// delivery the sender backs off exponentially (starting at four signal
+    /// latencies) and re-issues until the delivery lands. Returns the number
+    /// of attempts (1 on a healthy route). Deterministic: drop windows are
+    /// attempt-counted, so the retry sequence is a pure function of the
+    /// fault plan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn putmem_signal_reliable(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        dst: &SymArray,
+        dst_off: usize,
+        src: &Buf,
+        src_off: usize,
+        len: usize,
+        sig: &SymSignal,
+        sig_op: SignalOp,
+        sig_val: u64,
+        pe: usize,
+    ) -> u32 {
+        let mut attempts = 1u32;
+        let mut backoff = ctx.cost().shmem_signal() * 4;
+        loop {
+            if self.putmem_signal_inner(
+                ctx, dst, dst_off, src, src_off, len, sig, sig_op, sig_val, pe,
+            ) {
+                return attempts;
+            }
+            ctx.busy(
+                Category::Comm,
+                format!("put_retry_backoff->pe{pe}"),
+                backoff,
+            );
+            backoff = backoff * 2;
+            attempts += 1;
         }
     }
 
@@ -310,7 +407,12 @@ impl ShmemCtx {
         Self::assert_symmetric(dst, dst_off, len);
         let bytes = (len * 8) as u64;
         let issue = ctx.cost().shmem_signal();
-        let delivery = ctx.cost().shmem_put_block(bytes) + ctx.cost().shmem_signal();
+        let delivery = if self.faults.is_active() {
+            let (lat, inv_bw) = self.faults.link_mult(self.pe, pe, ctx.now());
+            ctx.cost().shmem_put_block(bytes) * inv_bw + ctx.cost().shmem_signal() * lat
+        } else {
+            ctx.cost().shmem_put_block(bytes) + ctx.cost().shmem_signal()
+        };
         ctx.busy(
             Category::Comm,
             format!("putmem_signal_block->pe{pe} {len}el"),
@@ -395,6 +497,62 @@ impl ShmemCtx {
         );
     }
 
+    /// Deadline-bounded signal wait: like [`ShmemCtx::signal_wait_until`]
+    /// but gives up at the virtual-time `deadline`, resuming at exactly that
+    /// instant with `Err`. The building block of interruptible waits in
+    /// fault-tolerant protocols (poll for recovery notices between slices).
+    pub fn signal_wait_until_deadline(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        sig: &SymSignal,
+        cmp: Cmp,
+        value: u64,
+        deadline: SimTime,
+    ) -> Result<(), WaitTimedOut> {
+        let flag = sig.flag(self.pe);
+        let poll = ctx.cost().shmem_poll();
+        let agent = ctx.agent_mut();
+        let start = agent.now();
+        let r = agent.wait_flag_until(flag, cmp, value, deadline);
+        if r.is_ok() {
+            agent.advance(poll);
+        }
+        let end = agent.now();
+        agent.record(
+            Category::Sync,
+            format!("signal_wait {cmp:?} {value}"),
+            start,
+            end,
+        );
+        r
+    }
+
+    /// Signal wait that declares the PE expected to deliver the signal — a
+    /// wait-for-graph edge. On deadlock/timeout the engine reports the full
+    /// cycle of PEs instead of a flat blocked list.
+    pub fn signal_wait_from(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        sig: &SymSignal,
+        cmp: Cmp,
+        value: u64,
+        from_pe: usize,
+    ) {
+        let flag = sig.flag(self.pe);
+        let poll = ctx.cost().shmem_poll();
+        let agent = ctx.agent_mut();
+        let start = agent.now();
+        agent.wait_flag_from(flag, cmp, value, format!("pe{from_pe}"));
+        agent.advance(poll);
+        let end = agent.now();
+        agent.record(
+            Category::Sync,
+            format!("signal_wait {cmp:?} {value} from pe{from_pe}"),
+            start,
+            end,
+        );
+    }
+
     /// Read this PE's copy of a signal without waiting.
     pub fn signal_fetch(&self, ctx: &KernelCtx<'_>, sig: &SymSignal) -> u64 {
         ctx.agent().flag_value(sig.flag(self.pe))
@@ -458,7 +616,14 @@ impl ShmemCtx {
         );
         let dur = ctx.cost().shmem_iput(count as u64, 8);
         ctx.busy(Category::Comm, format!("iget<-pe{pe} {count}el"), dur);
-        dst.copy_strided_from(dst_off, dst_stride, src.local(pe), src_off, src_stride, count);
+        dst.copy_strided_from(
+            dst_off,
+            dst_stride,
+            src.local(pe),
+            src_off,
+            src_stride,
+            count,
+        );
     }
 
     /// Single-element remote store (`nvshmem_double_p`). Non-blocking in
@@ -685,8 +850,8 @@ mod tests {
         let big = (1u64 << 21) * 8;
         assert!(c.shmem_put_block(big) < c.shmem_put(big));
         // Latency-dominated small messages: no meaningful difference.
-        let small_diff = c.shmem_put(64).as_nanos() as i64
-            - c.shmem_put_block(64).as_nanos() as i64;
+        let small_diff =
+            c.shmem_put(64).as_nanos() as i64 - c.shmem_put_block(64).as_nanos() as i64;
         assert!(small_diff.abs() < 100);
     }
 
@@ -792,10 +957,7 @@ mod tests {
                 sh.putmem(k, &arr, 0, &src, 0, 16, 1); // too long
             }
         });
-        assert!(matches!(
-            m.run(),
-            Err(sim_des::SimError::AgentPanic { .. })
-        ));
+        assert!(matches!(m.run(), Err(sim_des::SimError::AgentPanic { .. })));
     }
 
     #[test]

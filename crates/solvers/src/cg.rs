@@ -9,7 +9,7 @@ use crate::problem::{PoissonProblem, ReduceOrder};
 use cpufree_core::{launch_cpu_free, RunStats};
 use gpu_sim::{BlockGroup, Buf, CostModel, DevId, ExecMode, Machine};
 use nvshmem_sim::{allreduce_scalar, AllreduceWs, ReduceOp, ShmemCtx, ShmemWorld};
-use parking_lot::Mutex;
+use sim_des::lock::Mutex;
 use sim_des::{Category, Cmp, SignalOp, SimDur, SimTime};
 use std::sync::Arc;
 
@@ -56,15 +56,15 @@ impl CgResult {
 }
 
 /// Per-PE workload description shared by both variants.
-struct PeState {
-    x: Buf,
-    r: Buf,
-    q: Buf,
-    nx: usize,
-    layers: usize,
+pub(crate) struct PeState {
+    pub(crate) x: Buf,
+    pub(crate) r: Buf,
+    pub(crate) q: Buf,
+    pub(crate) nx: usize,
+    pub(crate) layers: usize,
 }
 
-fn alloc_state(machine: &Machine, prob: &PoissonProblem, pe: usize) -> PeState {
+pub(crate) fn alloc_state(machine: &Machine, prob: &PoissonProblem, pe: usize) -> PeState {
     let slab = prob.slab();
     let layers = slab.layers(pe);
     let len = (slab.max_layers() + 2) * prob.nx;
@@ -84,18 +84,18 @@ fn alloc_state(machine: &Machine, prob: &PoissonProblem, pe: usize) -> PeState {
 }
 
 /// Elements a halo row carries.
-fn halo_len(prob: &PoissonProblem) -> usize {
+pub(crate) fn halo_len(prob: &PoissonProblem) -> usize {
     prob.nx
 }
 
 /// Per-iteration p-halo exchange offsets (same layout as the stencil).
-struct HaloGeom {
-    first_row: usize,
-    low_halo: usize,
-    high_halo_of: Vec<usize>,
+pub(crate) struct HaloGeom {
+    pub(crate) first_row: usize,
+    pub(crate) low_halo: usize,
+    pub(crate) high_halo_of: Vec<usize>,
 }
 
-fn halo_geom(prob: &PoissonProblem) -> HaloGeom {
+pub(crate) fn halo_geom(prob: &PoissonProblem) -> HaloGeom {
     let slab = prob.slab();
     HaloGeom {
         first_row: prob.nx,
@@ -376,7 +376,7 @@ pub fn run_baseline(prob: &PoissonProblem, exec: ExecMode) -> CgResult {
     collect(prob, &machine, &states, end, rhos, ReduceOrder::Linear)
 }
 
-fn collect(
+pub(crate) fn collect(
     prob: &PoissonProblem,
     machine: &Machine,
     states: &[Arc<PeState>],

@@ -1,0 +1,557 @@
+//! Fault-tolerant CPU-Free CG: the persistent kernel of [`crate::cg`]
+//! hardened with iteration-granular checkpoint/restart, retrying puts,
+//! interruptible waits and allreduces, and a watchdog — driven by a
+//! deterministic [`FaultPlan`].
+//!
+//! # Protocol
+//!
+//! The numerical schedule is identical to [`crate::cg::run_cpu_free`]
+//! (p-halo exchange → matvec → pq-allreduce → axpy → rho-allreduce →
+//! p-update), so fault-free results match the plain variant bitwise. The
+//! hardening mirrors the stencil's (`stencil_lab::ft`):
+//!
+//! 1. **Recovery check** at the top of each iteration and inside every
+//!    wait: if any PE announced a rollback, join it.
+//! 2. **Checkpoint** at every `checkpoint_every`-iteration boundary:
+//!    interruptible rendezvous, `quiet`, then snapshot `x`, `r`, `q`, the
+//!    full local `p` slab (owned rows *and* halos) and the scalar `rho`.
+//!    The allreduce epoch counter needs no snapshot — it is a pure
+//!    function of the checkpoint iteration (`1 + 2·k0`: one `rho0` call
+//!    plus two calls per completed iteration).
+//! 3. **Crash**: scrub device state (NaN), charge a reboot, announce the
+//!    rollback, join it.
+//! 4. **Interruptible allreduce** (`nvshmem_sim::allreduce_scalar_ft`):
+//!    deadline-sliced waits poll for recovery notices; dropped deliveries
+//!    inside the collective are retried with backoff.
+//!
+//! **Recovery**: `quiet` → barrier A (nothing in flight machine-wide) →
+//! restore the four buffers and `rho`, rewind the allreduce counter to
+//! `1 + 2·k0`, reset the local allreduce and halo flags to their exact
+//! fault-free values at iteration `k0` → barrier B → resume at `k0 + 1`.
+//! Restored state equals the original byte state and every kernel is
+//! deterministic, so the replay — including every reduction order — is
+//! bit-identical to the fault-free run.
+
+use crate::cg::{alloc_state, collect, halo_geom, halo_len, CgResult, PeState};
+use crate::kernels::{axpy_xr, dot_local, matvec, update_p, vec_op_scaled};
+use crate::problem::{PoissonProblem, ReduceOrder};
+use cpufree_core::{launch_cpu_free, spawn_watchdog, WatchdogSpec};
+use gpu_sim::{BlockGroup, CostModel, ExecMode, FaultPlan, KernelCtx, Machine};
+use nvshmem_sim::{
+    allreduce_scalar_ft, AllreduceWs, ReduceOp, ShmemCtx, ShmemWorld, SymArray, SymSignal,
+};
+use sim_des::lock::Mutex;
+use sim_des::{ms, us, Barrier, Category, Cmp, Flag, SignalOp, SimDur, SimError};
+use std::sync::Arc;
+
+/// Configuration of a fault-tolerant CG run.
+#[derive(Clone)]
+pub struct CgFtConfig {
+    /// The underlying Poisson problem.
+    pub prob: PoissonProblem,
+    /// The deterministic fault schedule (empty plan = fault-free).
+    pub plan: FaultPlan,
+    /// Checkpoint every this many iterations (>= 1).
+    pub checkpoint_every: u64,
+    /// Deadline slice for interruptible waits (recovery-notice poll period).
+    pub poll: SimDur,
+    /// Watchdog stall-detection window.
+    pub watchdog_interval: SimDur,
+}
+
+impl CgFtConfig {
+    /// Defaults: checkpoint every 4 iterations, 50 µs poll slices, 10 ms
+    /// watchdog window.
+    pub fn new(prob: PoissonProblem, plan: FaultPlan) -> CgFtConfig {
+        CgFtConfig {
+            prob,
+            plan,
+            checkpoint_every: 4,
+            poll: us(50.0),
+            watchdog_interval: ms(10.0),
+        }
+    }
+}
+
+/// Outcome of a fault-tolerant CG run.
+#[derive(Debug)]
+pub struct CgFtResult {
+    /// The usual solver result (total time, stats, solution, rho).
+    pub result: CgResult,
+    /// Rollback rounds performed (summed over PEs / number of PEs).
+    pub rollbacks: u64,
+    /// Extra put attempts spent on dropped deliveries (all PEs).
+    pub retries: u64,
+    /// Checkpoints taken (per PE).
+    pub checkpoints: u64,
+}
+
+#[derive(Default)]
+struct FtCounters {
+    rollback_rounds: u64,
+    retries: u64,
+    checkpoints: u64,
+}
+
+/// The FT control plane shared by all PEs.
+#[derive(Clone)]
+struct FtPlane {
+    recover: SymSignal,
+    cp_barrier: Barrier,
+    rec_barrier_a: Barrier,
+    rec_barrier_b: Barrier,
+    done_barrier: Barrier,
+}
+
+/// Run fault-tolerant CPU-Free CG under `cfg.plan`.
+///
+/// Returns `Err` only for unrecoverable outcomes — a watchdog-diagnosed
+/// stall surfaces as [`SimError::Timeout`] naming the stuck PE and the
+/// wait-for cycle. All faults covered by the plan classes are recovered
+/// transparently, with the overhead visible in `result.total`.
+pub fn run_cpu_free_ft(cfg: &CgFtConfig, exec: ExecMode) -> Result<CgFtResult, SimError> {
+    assert!(cfg.checkpoint_every >= 1, "checkpoint_every must be >= 1");
+    let prob = &cfg.prob;
+    let machine = Machine::new(prob.n_pes, CostModel::a100_hgx(), exec);
+    machine.set_fault_plan(cfg.plan.clone());
+    let world = ShmemWorld::init(&machine);
+    let slab = prob.slab();
+    let len = (slab.max_layers() + 2) * prob.nx;
+    let p = world.malloc("p", len);
+    let sig_low = world.signal(0);
+    let sig_high = world.signal(0);
+    let ws = AllreduceWs::new(&world);
+    let states: Vec<Arc<PeState>> = (0..prob.n_pes)
+        .map(|pe| {
+            let st = alloc_state(&machine, prob, pe);
+            if exec == ExecMode::Full {
+                p.local(pe).write_slice(0, &prob.local_b(pe));
+            }
+            Arc::new(st)
+        })
+        .collect();
+    let geom = Arc::new(halo_geom(prob));
+    let rhos = Arc::new(Mutex::new(vec![0.0f64; prob.n_pes]));
+
+    let n = prob.n_pes;
+    let plane = FtPlane {
+        recover: world.signal(0),
+        cp_barrier: machine.barrier(n),
+        rec_barrier_a: machine.barrier(n),
+        rec_barrier_b: machine.barrier(n),
+        done_barrier: machine.barrier(n),
+    };
+    let heartbeats: Vec<Flag> = (0..n).map(|_| machine.flag(0)).collect();
+    let ft_done = machine.flag(0);
+    let counters = Arc::new(Mutex::new(FtCounters::default()));
+
+    spawn_watchdog(
+        &machine,
+        WatchdogSpec {
+            heartbeats: heartbeats
+                .iter()
+                .enumerate()
+                .map(|(pe, f)| (format!("pe{pe}"), *f))
+                .collect(),
+            done: ft_done,
+            target: n as u64,
+            interval: cfg.watchdog_interval,
+        },
+    );
+
+    let iters = prob.iterations;
+    let prob_c = prob.clone();
+    let states_l = states.clone();
+    let rhos_l = Arc::clone(&rhos);
+    let counters_l = Arc::clone(&counters);
+    let cfg_l = cfg.clone();
+    let end = launch_cpu_free(&machine, "cg_ft", 1024, move |pe| {
+        let st = Arc::clone(&states_l[pe]);
+        let world = world.clone();
+        let p = p.clone();
+        let (sig_low, sig_high) = (sig_low.clone(), sig_high.clone());
+        let mut ws = ws.clone();
+        let geom = Arc::clone(&geom);
+        let rhos = Arc::clone(&rhos_l);
+        let counters = Arc::clone(&counters_l);
+        let plane = plane.clone();
+        let hb = heartbeats[pe];
+        let hl = halo_len(&prob_c);
+        let cfg = cfg_l.clone();
+        vec![BlockGroup::new("cgft", 108, move |k| {
+            let mut sh = ShmemCtx::new(&world, k);
+            let (rho, local) = pe_body(
+                k, &mut sh, &st, &p, &sig_low, &sig_high, &mut ws, &geom, &plane, &cfg, pe, n,
+                iters, hl, hb,
+            );
+            rhos.lock()[pe] = rho;
+            let mut g = counters.lock();
+            g.rollback_rounds += local.rollbacks;
+            g.retries += local.retries;
+            g.checkpoints = g.checkpoints.max(local.checkpoints);
+            k.agent_mut().signal(ft_done, SignalOp::Add, 1);
+        })]
+    })?;
+
+    let result = collect(prob, &machine, &states, end, rhos, ReduceOrder::Doubling);
+    let g = counters.lock();
+    Ok(CgFtResult {
+        result,
+        rollbacks: g.rollback_rounds / n as u64,
+        retries: g.retries,
+        checkpoints: g.checkpoints,
+    })
+}
+
+struct PeOutcome {
+    rollbacks: u64,
+    retries: u64,
+    checkpoints: u64,
+}
+
+/// What one checkpoint captures: the four vectors and the scalar rho.
+struct CgSnap {
+    x: Vec<f64>,
+    r: Vec<f64>,
+    q: Vec<f64>,
+    p: Vec<f64>,
+    rho: f64,
+}
+
+/// Everything one PE does: the hardened persistent CG loop. Returns the
+/// final rho and the FT counters.
+#[allow(clippy::too_many_arguments)]
+fn pe_body(
+    k: &mut KernelCtx<'_>,
+    sh: &mut ShmemCtx,
+    st: &PeState,
+    p: &SymArray,
+    sig_low: &SymSignal,
+    sig_high: &SymSignal,
+    ws: &mut AllreduceWs,
+    geom: &crate::cg::HaloGeom,
+    plane: &FtPlane,
+    cfg: &CgFtConfig,
+    pe: usize,
+    n: usize,
+    iters: u64,
+    hl: usize,
+    heartbeat: Flag,
+) -> (f64, PeOutcome) {
+    let faults = k.machine().faults();
+    let (nx, layers) = (st.nx, st.layers);
+    let points = (layers * nx) as u64;
+    let cp = cfg.checkpoint_every;
+    let poll = cfg.poll;
+    let crash_at = faults.crash_iteration(pe);
+    let recover = &plane.recover;
+
+    let mut t: u64 = 1;
+    let mut handled: u64 = 0; // rollback announcements consumed
+    let mut k0: u64 = 0; // iteration the last checkpoint captured
+    let mut last_cp: Option<u64> = None;
+    let mut snap: Option<CgSnap> = None;
+    let mut crashed = false;
+    let mut out = PeOutcome {
+        rollbacks: 0,
+        retries: 0,
+        checkpoints: 0,
+    };
+
+    // rho0 = <r, r>. Cannot be interrupted: the first rollback announcement
+    // requires every PE past the first checkpoint barrier, which is after
+    // rho0 — but its puts may still hit drop windows, hence the FT variant.
+    let mut partial = 0.0;
+    vec_op_scaled(
+        k,
+        points,
+        16,
+        2,
+        faults.compute_mult(pe, k.now()),
+        "dot(r,r)",
+        || {
+            partial = dot_local(&st.r, &st.r, nx, layers);
+        },
+    );
+    let mut rho = allreduce_scalar_ft(
+        sh,
+        k,
+        ws,
+        partial,
+        ReduceOp::Sum,
+        poll,
+        &mut out.retries,
+        &mut |_, _| false,
+    )
+    .expect("rho0 allreduce cannot be interrupted");
+
+    // Restore from the checkpoint: quiet -> A -> restore + rewinds -> B.
+    macro_rules! do_recovery {
+        () => {{
+            // Drain own in-flight deliveries; once every PE is past
+            // barrier A, nothing stale is in flight machine-wide.
+            sh.quiet(k);
+            k.agent_mut().barrier(plane.rec_barrier_a);
+            if let Some(s) = &snap {
+                st.x.write_slice(0, &s.x);
+                st.r.write_slice(0, &s.r);
+                st.q.write_slice(0, &s.q);
+                p.local(pe).write_slice(0, &s.p);
+                rho = s.rho;
+            }
+            let bytes = 4 * (p.local(pe).len() * 8) as u64;
+            let dur = k.cost().pcie_copy(bytes);
+            k.busy(Category::Api, "cgft.restore", dur);
+            // Rewind the allreduce epoch to its fault-free value after k0
+            // iterations (rho0 + two calls per iteration) and reset the
+            // local collective and halo flags to exactly that state.
+            let seq0 = 1 + 2 * k0;
+            ws.set_seq(seq0);
+            ws.reset_local(k, pe, seq0);
+            k.agent_mut().signal(sig_low.flag(pe), SignalOp::Set, k0);
+            k.agent_mut().signal(sig_high.flag(pe), SignalOp::Set, k0);
+            k.agent_mut().barrier(plane.rec_barrier_b);
+            handled += 1;
+            out.rollbacks += 1;
+            t = k0 + 1;
+        }};
+    }
+
+    // Interruptible allreduce wrapper: Some(value) or recovery-joined.
+    macro_rules! ft_reduce {
+        ($val:expr) => {
+            allreduce_scalar_ft(
+                sh,
+                k,
+                ws,
+                $val,
+                ReduceOp::Sum,
+                poll,
+                &mut out.retries,
+                &mut |sh, k| sh.signal_fetch(k, recover) > handled,
+            )
+        };
+    }
+
+    'outer: loop {
+        'iter: while t <= iters {
+            // ① Join any announced rollback before doing new work.
+            if sh.signal_fetch(k, recover) > handled {
+                do_recovery!();
+                continue 'iter;
+            }
+
+            // ② Checkpoint at every cp-iteration boundary (incl. t = 1: the
+            // post-rho0 state, so the earliest crash is recoverable).
+            if (t - 1).is_multiple_of(cp) && last_cp != Some(t - 1) {
+                sh.quiet(k);
+                loop {
+                    if sh.signal_fetch(k, recover) > handled {
+                        do_recovery!();
+                        continue 'iter;
+                    }
+                    let deadline = k.now() + poll;
+                    if k.agent_mut()
+                        .barrier_until(plane.cp_barrier, deadline)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+                let bytes = 4 * (p.local(pe).len() * 8) as u64;
+                let dur = k.cost().pcie_copy(bytes);
+                k.busy(Category::Api, "cgft.checkpoint", dur);
+                snap = Some(CgSnap {
+                    x: st.x.to_vec(),
+                    r: st.r.to_vec(),
+                    q: st.q.to_vec(),
+                    p: p.local(pe).to_vec(),
+                    rho,
+                });
+                k0 = t - 1;
+                last_cp = Some(k0);
+                out.checkpoints += 1;
+            }
+
+            // ③ Scheduled crash: scrub device state, reboot, announce the
+            // rollback to every PE, then join the recovery ourselves.
+            if !crashed && crash_at == Some(t) {
+                crashed = true;
+                if k.exec_mode() == ExecMode::Full {
+                    st.x.fill(f64::NAN);
+                    st.r.fill(f64::NAN);
+                    st.q.fill(f64::NAN);
+                    p.local(pe).fill(f64::NAN);
+                }
+                k.busy(Category::Api, "cgft.reboot", us(500.0));
+                for q in 0..n {
+                    sh.signal_op(k, recover, SignalOp::Add, 1, q);
+                }
+                do_recovery!();
+                continue 'iter;
+            }
+
+            // ④ p-halo exchange, reliably (same schedule as the plain run).
+            if pe > 0 {
+                out.retries += (sh.putmem_signal_reliable(
+                    k,
+                    p,
+                    geom.high_halo_of[pe - 1],
+                    p.local(pe),
+                    geom.first_row,
+                    hl,
+                    sig_high,
+                    SignalOp::Set,
+                    t,
+                    pe - 1,
+                ) - 1) as u64;
+            }
+            if pe + 1 < n {
+                out.retries += (sh.putmem_signal_reliable(
+                    k,
+                    p,
+                    geom.low_halo,
+                    p.local(pe),
+                    layers * nx,
+                    hl,
+                    sig_low,
+                    SignalOp::Set,
+                    t,
+                    pe + 1,
+                ) - 1) as u64;
+            }
+            // ⑤ Halo waits, deadline-sliced so lost signals cannot hang us.
+            if pe > 0 {
+                loop {
+                    if sh.signal_fetch(k, recover) > handled {
+                        do_recovery!();
+                        continue 'iter;
+                    }
+                    let deadline = k.now() + poll;
+                    if sh
+                        .signal_wait_until_deadline(k, sig_low, Cmp::Ge, t, deadline)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+            if pe + 1 < n {
+                loop {
+                    if sh.signal_fetch(k, recover) > handled {
+                        do_recovery!();
+                        continue 'iter;
+                    }
+                    let deadline = k.now() + poll;
+                    if sh
+                        .signal_wait_until_deadline(k, sig_high, Cmp::Ge, t, deadline)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+
+            // ⑥ q = A p (stretched by any straggler window).
+            vec_op_scaled(
+                k,
+                points,
+                16,
+                9,
+                faults.compute_mult(pe, k.now()),
+                "matvec",
+                || {
+                    matvec(p.local(pe), &st.q, nx, layers);
+                },
+            );
+            // ⑦ alpha = rho / <p, q>.
+            let mut pq_part = 0.0;
+            vec_op_scaled(
+                k,
+                points,
+                16,
+                2,
+                faults.compute_mult(pe, k.now()),
+                "dot(p,q)",
+                || {
+                    pq_part = dot_local(p.local(pe), &st.q, nx, layers);
+                },
+            );
+            let pq = match ft_reduce!(pq_part) {
+                Some(v) => v,
+                None => {
+                    do_recovery!();
+                    continue 'iter;
+                }
+            };
+            let alpha = rho / pq;
+            // ⑧ x += alpha p; r -= alpha q.
+            vec_op_scaled(
+                k,
+                points,
+                32,
+                4,
+                faults.compute_mult(pe, k.now()),
+                "axpy(x,r)",
+                || {
+                    axpy_xr(&st.x, &st.r, p.local(pe), &st.q, alpha, nx, layers);
+                },
+            );
+            // ⑨ rho' = <r, r>; beta.
+            let mut rr_part = 0.0;
+            vec_op_scaled(
+                k,
+                points,
+                16,
+                2,
+                faults.compute_mult(pe, k.now()),
+                "dot(r,r)",
+                || {
+                    rr_part = dot_local(&st.r, &st.r, nx, layers);
+                },
+            );
+            let rho_new = match ft_reduce!(rr_part) {
+                Some(v) => v,
+                None => {
+                    do_recovery!();
+                    continue 'iter;
+                }
+            };
+            let beta = rho_new / rho;
+            rho = rho_new;
+            // ⑩ p = r + beta p.
+            vec_op_scaled(
+                k,
+                points,
+                24,
+                2,
+                faults.compute_mult(pe, k.now()),
+                "update p",
+                || {
+                    update_p(p.local(pe), &st.r, beta, nx, layers);
+                },
+            );
+
+            // ⑪ Progress heartbeat for the watchdog.
+            k.agent_mut().signal(heartbeat, SignalOp::Add, 1);
+            t += 1;
+        }
+
+        // Final rendezvous — interruptible, so PEs that already finished
+        // can still be recruited into a late rollback and redo the tail.
+        loop {
+            if sh.signal_fetch(k, recover) > handled {
+                do_recovery!();
+                continue 'outer;
+            }
+            let deadline = k.now() + poll;
+            if k.agent_mut()
+                .barrier_until(plane.done_barrier, deadline)
+                .is_ok()
+            {
+                break 'outer;
+            }
+        }
+    }
+    (rho, out)
+}

@@ -13,10 +13,24 @@ pub fn vec_op(
     label: &str,
     f: impl FnOnce(),
 ) {
+    vec_op_scaled(k, points, bytes_per_pt, flops_per_pt, 1.0, label, f);
+}
+
+/// [`vec_op`] with the charged time stretched by `mult` — straggler windows
+/// in fault-injected runs slow the kernel without changing its output.
+pub fn vec_op_scaled(
+    k: &mut KernelCtx<'_>,
+    points: u64,
+    bytes_per_pt: u64,
+    flops_per_pt: u64,
+    mult: f64,
+    label: &str,
+    f: impl FnOnce(),
+) {
     let dur = k
         .cost()
         .sweep(points * bytes_per_pt, points * flops_per_pt, 1.0);
-    k.busy(Category::Compute, label, dur);
+    k.busy(Category::Compute, label, dur * mult);
     if k.exec_mode() == ExecMode::Full {
         f();
     }

@@ -22,8 +22,10 @@
 #![warn(missing_docs)]
 
 pub mod cg;
+pub mod ft;
 pub mod kernels;
 pub mod problem;
 
 pub use cg::{run_baseline, run_cpu_free, CgResult};
+pub use ft::{run_cpu_free_ft, CgFtConfig, CgFtResult};
 pub use problem::{PoissonProblem, ReduceOrder};

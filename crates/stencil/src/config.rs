@@ -46,7 +46,13 @@ impl StencilConfig {
     }
 
     /// A 3D7pt configuration over an `nx × ny × nz` grid.
-    pub fn cube3d(nx: usize, ny: usize, nz: usize, iterations: u64, n_gpus: usize) -> StencilConfig {
+    pub fn cube3d(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        iterations: u64,
+        n_gpus: usize,
+    ) -> StencilConfig {
         StencilConfig {
             nx,
             ny,
@@ -112,7 +118,11 @@ impl StencilConfig {
             assert!(self.nz >= 3, "3D grid too small");
         }
         assert!(self.n_gpus >= 1, "need at least one GPU");
-        let interior = if self.is_3d() { self.nz - 2 } else { self.ny - 2 };
+        let interior = if self.is_3d() {
+            self.nz - 2
+        } else {
+            self.ny - 2
+        };
         assert!(
             interior >= 2 * self.n_gpus,
             "each GPU needs at least 2 interior layers ({} interior / {} GPUs)",
@@ -137,7 +147,10 @@ pub struct Slab {
 impl Slab {
     /// Create a decomposition.
     pub fn new(interior: usize, n: usize) -> Slab {
-        assert!(n >= 1 && interior >= n, "cannot split {interior} layers over {n} parts");
+        assert!(
+            n >= 1 && interior >= n,
+            "cannot split {interior} layers over {n} parts"
+        );
         Slab { interior, n }
     }
 
@@ -293,7 +306,10 @@ mod tests {
     fn no_compute_zeroes_sweep() {
         let w = Workload::jacobi2d(256, 30, true);
         let c = CostModel::a100_hgx();
-        assert_eq!(w.sweep_dur(&c, w.total_points(), 1.0, 1.0, 1.0), SimDur::ZERO);
+        assert_eq!(
+            w.sweep_dur(&c, w.total_points(), 1.0, 1.0, 1.0),
+            SimDur::ZERO
+        );
     }
 
     #[test]
@@ -301,7 +317,13 @@ mod tests {
         let w = Workload::jacobi2d(8192, 1024, false);
         let c = CostModel::a100_hgx();
         let plain = w.sweep_dur(&c, w.total_points(), 1.0, 1.0, 1.0);
-        let perks = w.sweep_dur(&c, w.total_points(), 1.0, 1.0 - c.perks_cached_fraction, 1.0);
+        let perks = w.sweep_dur(
+            &c,
+            w.total_points(),
+            1.0,
+            1.0 - c.perks_cached_fraction,
+            1.0,
+        );
         assert!(perks < plain);
         let ratio = perks.as_nanos() as f64 / plain.as_nanos() as f64;
         // (8 write + 8*(1-cached) read) / 16 bytes.

@@ -194,8 +194,7 @@ impl Executed {
         let total = end.since(SimTime::ZERO);
         let trace = dom.machine.trace();
         let stats = RunStats::from_trace(&trace, total, dom.cfg.iterations);
-        let max_err =
-            (dom.cfg.exec == ExecMode::Full && !dom.cfg.no_compute).then(|| dom.verify());
+        let max_err = (dom.cfg.exec == ExecMode::Full && !dom.cfg.no_compute).then(|| dom.verify());
         let mut checksum = 0u64;
         for pe in 0..dom.cfg.n_gpus {
             checksum = checksum

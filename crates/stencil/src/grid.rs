@@ -7,11 +7,7 @@
 //! updates read only the previous generation).
 
 use gpu_sim::Buf;
-use rayon::prelude::*;
 use std::f64::consts::PI;
-
-/// Serial/parallel crossover: below this many points a sweep stays serial.
-const PAR_THRESHOLD: usize = 1 << 15;
 
 /// The 2D5pt update for one point, shared by kernels and reference.
 #[inline(always)]
@@ -29,8 +25,8 @@ fn update3d(zm: f64, zp: f64, ym: f64, yp: f64, xm: f64, xp: f64) -> f64 {
 /// profile, the other edges and the interior are zero.
 pub fn init2d(nx: usize, ny: usize) -> Vec<f64> {
     let mut g = vec![0.0; nx * ny];
-    for x in 0..nx {
-        g[x] = (PI * x as f64 / (nx - 1) as f64).sin();
+    for (x, v) in g.iter_mut().enumerate().take(nx) {
+        *v = (PI * x as f64 / (nx - 1) as f64).sin();
     }
     g
 }
@@ -41,8 +37,8 @@ pub fn init3d(nx: usize, ny: usize, nz: usize) -> Vec<f64> {
     let mut g = vec![0.0; nx * ny * nz];
     for y in 0..ny {
         for x in 0..nx {
-            g[y * nx + x] = (PI * x as f64 / (nx - 1) as f64).sin()
-                * (PI * y as f64 / (ny - 1) as f64).sin();
+            g[y * nx + x] =
+                (PI * x as f64 / (nx - 1) as f64).sin() * (PI * y as f64 / (ny - 1) as f64).sin();
         }
     }
     let _ = nz;
@@ -58,7 +54,6 @@ pub fn sweep2d_rows(src: &[f64], dst: &mut [f64], nx: usize, rows: (usize, usize
         return;
     }
     debug_assert!(lo >= 1 && (hi + 2) * nx <= src.len());
-    let points = (hi - lo + 1) * nx;
     let run = |r: usize, row: &mut [f64]| {
         for x in 1..nx - 1 {
             row[x] = update2d(
@@ -69,20 +64,10 @@ pub fn sweep2d_rows(src: &[f64], dst: &mut [f64], nx: usize, rows: (usize, usize
             );
         }
     };
-    if points >= PAR_THRESHOLD {
-        dst[lo * nx..(hi + 1) * nx]
-            .par_chunks_mut(nx)
-            .enumerate()
-            .for_each(|(i, row)| run(lo + i, row));
-    } else {
-        // Serial fallback avoids rayon overhead for small sweeps.
-        let mut tmp = vec![0.0; nx];
-        for r in lo..=hi {
-            tmp.copy_from_slice(&dst[r * nx..(r + 1) * nx]);
-            run(r, &mut tmp);
-            dst[r * nx..(r + 1) * nx].copy_from_slice(&tmp);
-        }
-    }
+    dst[lo * nx..(hi + 1) * nx]
+        .chunks_mut(nx)
+        .enumerate()
+        .for_each(|(i, row)| run(lo + i, row));
 }
 
 /// Sweep an arbitrary rectangle: rows `rows.0..=rows.1`, columns
@@ -131,20 +116,13 @@ pub fn sweep2d_buf(a: &Buf, b: &Buf, nx: usize, rows: (usize, usize)) {
 /// Sweep planes `planes.0 ..= planes.1` (slice-local indices) of a 3D
 /// row-major grid (x fastest): `dst` gets the 7-point update of `src`.
 /// Face cells (x/y extremes) are left untouched.
-pub fn sweep3d_planes(
-    src: &[f64],
-    dst: &mut [f64],
-    nx: usize,
-    ny: usize,
-    planes: (usize, usize),
-) {
+pub fn sweep3d_planes(src: &[f64], dst: &mut [f64], nx: usize, ny: usize, planes: (usize, usize)) {
     let (lo, hi) = planes;
     if hi < lo {
         return;
     }
     let plane = nx * ny;
     debug_assert!(lo >= 1 && (hi + 2) * plane <= src.len());
-    let points = (hi - lo + 1) * plane;
     let run = |z: usize, dplane: &mut [f64]| {
         for y in 1..ny - 1 {
             for x in 1..nx - 1 {
@@ -160,19 +138,10 @@ pub fn sweep3d_planes(
             }
         }
     };
-    if points >= PAR_THRESHOLD {
-        dst[lo * plane..(hi + 1) * plane]
-            .par_chunks_mut(plane)
-            .enumerate()
-            .for_each(|(i, dplane)| run(lo + i, dplane));
-    } else {
-        let mut tmp = vec![0.0; plane];
-        for z in lo..=hi {
-            tmp.copy_from_slice(&dst[z * plane..(z + 1) * plane]);
-            run(z, &mut tmp);
-            dst[z * plane..(z + 1) * plane].copy_from_slice(&tmp);
-        }
-    }
+    dst[lo * plane..(hi + 1) * plane]
+        .chunks_mut(plane)
+        .enumerate()
+        .for_each(|(i, dplane)| run(lo + i, dplane));
 }
 
 /// [`sweep3d_planes`] between two device buffers.

@@ -21,6 +21,7 @@
 
 pub mod config;
 pub mod domain;
+pub mod ft;
 pub mod geometry;
 pub mod grid;
 pub mod grid2d;
@@ -28,6 +29,7 @@ pub mod variants;
 
 pub use config::{Slab, StencilConfig, Workload};
 pub use domain::{Domain, Executed};
+pub use ft::{run_cpu_free_ft, FtConfig, FtExecuted};
 pub use geometry::{Geo2D, Geo3D, Geometry};
 pub use grid2d::{run_grid2d_baseline, run_grid2d_cpu_free, Grid2DConfig, Grid2DRun};
 pub use variants::Variant;

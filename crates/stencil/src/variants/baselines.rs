@@ -101,9 +101,18 @@ pub fn run_overlap(cfg: &StencilConfig) -> Executed {
                 let write = d.write_gen(t).local(pe).clone();
                 host.launch(&comp, "jacobi_inner", move |k| {
                     let pen = k.cost().discrete_cache_penalty;
-                    compute_phase(k, &w, w.inner_points(), inner_frac, 1.0, pen, "inner", || {
-                        geo.sweep(&read, &write, (2, layers - 1));
-                    });
+                    compute_phase(
+                        k,
+                        &w,
+                        w.inner_points(),
+                        inner_frac,
+                        1.0,
+                        pen,
+                        "inner",
+                        || {
+                            geo.sweep(&read, &write, (2, layers - 1));
+                        },
+                    );
                 });
                 let geo = Arc::clone(&d.geo);
                 let read = d.read_gen(t).local(pe).clone();

@@ -296,8 +296,7 @@ pub fn run_cpu_free_dual(cfg: &StencilConfig) -> Executed {
         move |pe, rv| {
             let dom = Arc::clone(&dom_a);
             let w = dom.workload(pe);
-            let alloc =
-                TbAllocation::proportional(tb_total, w.inner_points(), w.boundary_points());
+            let alloc = TbAllocation::proportional(tb_total, w.inner_points(), w.boundary_points());
             let tune = tuning(&dom, pe, false, tb_total);
             let b_frac = alloc.boundary_fraction();
             let d_low = Arc::clone(&dom);
@@ -332,8 +331,7 @@ pub fn run_cpu_free_dual(cfg: &StencilConfig) -> Executed {
         move |pe, rv| {
             let dom = Arc::clone(&dom_b);
             let w = dom.workload(pe);
-            let alloc =
-                TbAllocation::proportional(tb_total, w.inner_points(), w.boundary_points());
+            let alloc = TbAllocation::proportional(tb_total, w.inner_points(), w.boundary_points());
             let tune = tuning(&dom, pe, false, tb_total);
             let i_frac = alloc.inner_fraction();
             let d_in = Arc::clone(&dom);

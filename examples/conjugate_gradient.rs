@@ -17,8 +17,14 @@ fn main() {
     let free = run_cpu_free(&small, ExecMode::Full);
     let base = run_baseline(&small, ExecMode::Full);
     println!("verification (18x22 grid, 15 CG iterations, 4 GPUs):");
-    println!("  CPU-Free  max |err| vs order-matched reference: {:e}", free.verify(&small));
-    println!("  Baseline  max |err| vs order-matched reference: {:e}", base.verify(&small));
+    println!(
+        "  CPU-Free  max |err| vs order-matched reference: {:e}",
+        free.verify(&small)
+    );
+    println!(
+        "  Baseline  max |err| vs order-matched reference: {:e}",
+        base.verify(&small)
+    );
     assert_eq!(free.verify(&small), 0.0);
     assert_eq!(base.verify(&small), 0.0);
     println!("  final residual^2: {:.3e}\n", free.final_rho);

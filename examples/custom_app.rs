@@ -57,7 +57,16 @@ fn main() {
                     scratch.set(0, local);
                     // Accumulate around the ring: n-1 hops of put+signal.
                     sh.putmem_signal_nbi(
-                        k, &partials, 0, &scratch, 0, 1, &sig, SignalOp::Set, t, right,
+                        k,
+                        &partials,
+                        0,
+                        &scratch,
+                        0,
+                        1,
+                        &sig,
+                        SignalOp::Set,
+                        t,
+                        right,
                     );
                     sh.signal_wait_until(k, &sig, Cmp::Ge, t);
                     k.grid_sync();
@@ -66,7 +75,13 @@ fn main() {
             BlockGroup::new("compute", 100, move |k| {
                 for _t in 1..=iterations {
                     // The bulk vector update, overlapped with the ring.
-                    k.compute("axpy", (per_pe * 16) as u64, (per_pe * 2) as u64, 0.9, || {});
+                    k.compute(
+                        "axpy",
+                        (per_pe * 16) as u64,
+                        (per_pe * 2) as u64,
+                        0.9,
+                        || {},
+                    );
                     k.grid_sync();
                 }
             }),
@@ -76,9 +91,16 @@ fn main() {
 
     let stats = RunStats::from_trace(&machine.trace(), end.since(SimTime::ZERO), iterations);
     println!("distributed iterative app on the CPU-Free blueprint:");
-    println!("  {} PEs x {} elements, {} iterations", n_pes, per_pe, iterations);
-    println!("  total {} | per-iter {} | comm overlap {:.0}%",
-        stats.total, stats.per_iter, stats.comm_overlap_ratio * 100.0);
+    println!(
+        "  {} PEs x {} elements, {} iterations",
+        n_pes, per_pe, iterations
+    );
+    println!(
+        "  total {} | per-iter {} | comm overlap {:.0}%",
+        stats.total,
+        stats.per_iter,
+        stats.comm_overlap_ratio * 100.0
+    );
     // Every PE received its left neighbor's final partial.
     for pe in 0..n_pes {
         let got = partials.local(pe).get(0);

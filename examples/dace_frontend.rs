@@ -14,7 +14,10 @@ use cpufree::prelude::*;
 
 fn main() {
     let setup = Jacobi2dSetup::new(6, 8, 4, 4);
-    println!("baseline program (as built by the frontend):\n{}\n", setup.sdfg);
+    println!(
+        "baseline program (as built by the frontend):\n{}\n",
+        setup.sdfg
+    );
 
     // ---- CPU-controlled path: just port to GPU (GPUTransform) ----
     let mut baseline = setup.sdfg.clone();
@@ -54,14 +57,21 @@ fn main() {
     assert_eq!(err_c, 0.0);
 
     // ---- performance ----
-    println!("\nvirtual time ({} ranks, {} steps, {}x{} per rank):",
-        setup.n_pes, setup.tsteps, setup.rows, setup.cols);
+    println!(
+        "\nvirtual time ({} ranks, {} steps, {}x{} per rank):",
+        setup.n_pes, setup.tsteps, setup.rows, setup.cols
+    );
     println!("  MPI baseline (discrete kernels):  {}", b.total);
     println!("  generated CPU-Free (persistent):  {}", c.total);
-    println!("  improvement: {:.1}%",
-        RunStats::speedup_pct(b.total, c.total));
+    println!(
+        "  improvement: {:.1}%",
+        RunStats::speedup_pct(b.total, c.total)
+    );
 }
 
 fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }

@@ -26,7 +26,10 @@ fn main() {
     println!("3D7pt verification vs sequential reference: exact (max err 0)\n");
 
     println!("weak scaling — 128^3 per GPU, 100 steps (per-iteration time):");
-    println!("{:>6} {:>16} {:>16} {:>10}", "gpus", "baseline nvshmem", "cpu-free", "speedup");
+    println!(
+        "{:>6} {:>16} {:>16} {:>10}",
+        "gpus", "baseline nvshmem", "cpu-free", "speedup"
+    );
     for gpus in [1usize, 2, 4, 8] {
         let cfg = weak_cfg(gpus);
         let base = Variant::BaselineNvshmem.run(&cfg);
@@ -41,7 +44,10 @@ fn main() {
     }
 
     println!("\nstrong scaling — constant 258^3 domain (per-iteration time):");
-    println!("{:>6} {:>16} {:>16} {:>10}", "gpus", "baseline nvshmem", "cpu-free", "speedup");
+    println!(
+        "{:>6} {:>16} {:>16} {:>10}",
+        "gpus", "baseline nvshmem", "cpu-free", "speedup"
+    );
     for gpus in [1usize, 2, 4, 8] {
         let cfg = strong_cfg(gpus);
         let base = Variant::BaselineNvshmem.run(&cfg);

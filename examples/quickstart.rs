@@ -13,8 +13,10 @@ fn main() {
     // arithmetic executed so the result is verifiable.
     let cfg = StencilConfig::square2d(258, 200, 4);
 
-    println!("running CPU-Free 2D Jacobi: {}x{} grid, {} steps, {} GPUs",
-        cfg.nx, cfg.ny, cfg.iterations, cfg.n_gpus);
+    println!(
+        "running CPU-Free 2D Jacobi: {}x{} grid, {} steps, {} GPUs",
+        cfg.nx, cfg.ny, cfg.iterations, cfg.n_gpus
+    );
     let free = Variant::CpuFree.run(&cfg);
 
     println!("running CPU-controlled baseline (Copy Overlap) on the same problem");
@@ -22,25 +24,39 @@ fn main() {
 
     println!();
     println!("correctness:");
-    println!("  CPU-Free  max |error| vs sequential reference: {:?}", free.max_err);
-    println!("  Baseline  max |error| vs sequential reference: {:?}", base.max_err);
+    println!(
+        "  CPU-Free  max |error| vs sequential reference: {:?}",
+        free.max_err
+    );
+    println!(
+        "  Baseline  max |error| vs sequential reference: {:?}",
+        base.max_err
+    );
     assert_eq!(free.max_err, Some(0.0), "CPU-Free result must be exact");
     assert_eq!(base.max_err, Some(0.0), "baseline result must be exact");
 
     println!();
     println!("performance (virtual time on the simulated A100 node):");
-    println!("  CPU-Free : {:>12} total, {:>10}/iter, comm+sync exposed {:>10}",
+    println!(
+        "  CPU-Free : {:>12} total, {:>10}/iter, comm+sync exposed {:>10}",
         format!("{}", free.total),
         format!("{}", free.stats.per_iter),
-        format!("{}", free.stats.exposed_comm));
-    println!("  Baseline : {:>12} total, {:>10}/iter, comm+sync exposed {:>10}",
+        format!("{}", free.stats.exposed_comm)
+    );
+    println!(
+        "  Baseline : {:>12} total, {:>10}/iter, comm+sync exposed {:>10}",
         format!("{}", base.total),
         format!("{}", base.stats.per_iter),
-        format!("{}", base.stats.exposed_comm));
+        format!("{}", base.stats.exposed_comm)
+    );
     println!();
-    println!("  speedup (paper formula): {:.1}%",
-        RunStats::speedup_pct(base.total, free.total));
-    println!("  baseline comm overlap: {:.1}%   CPU-Free comm overlap: {:.1}%",
+    println!(
+        "  speedup (paper formula): {:.1}%",
+        RunStats::speedup_pct(base.total, free.total)
+    );
+    println!(
+        "  baseline comm overlap: {:.1}%   CPU-Free comm overlap: {:.1}%",
         base.stats.comm_overlap_ratio * 100.0,
-        free.stats.comm_overlap_ratio * 100.0);
+        free.stats.comm_overlap_ratio * 100.0
+    );
 }

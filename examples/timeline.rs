@@ -12,7 +12,10 @@ fn main() {
     let cfg = StencilConfig::square2d(258, 4, 4).timing_only();
 
     let base = Variant::BaselineOverlap.run(&cfg);
-    println!("=== Baseline Copy Overlap — 4 GPUs, 4 iterations (total {}) ===", base.total);
+    println!(
+        "=== Baseline Copy Overlap — 4 GPUs, 4 iterations (total {}) ===",
+        base.total
+    );
     println!("{}", base.trace.render_timeline(110));
 
     let free = Variant::CpuFree.run(&cfg);
@@ -23,7 +26,10 @@ fn main() {
     // https://ui.perfetto.dev.
     let path = std::env::temp_dir().join("cpufree_baseline_trace.json");
     std::fs::write(&path, base.trace.to_chrome_json()).expect("write trace");
-    println!("Chrome-tracing export of the baseline run: {}", path.display());
+    println!(
+        "Chrome-tracing export of the baseline run: {}",
+        path.display()
+    );
     println!();
 
     println!("Read the rows: the baseline's host ranks (rank*) are busy every");

@@ -53,13 +53,14 @@ pub use stencil_lab;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use cpufree_core::{
-        launch_cpu_free, launch_cpu_free_dual, persistent_loop, LocalRendezvous, RunStats,
-        TbAllocation,
+        launch_cpu_free, launch_cpu_free_dual, persistent_loop, spawn_watchdog, LocalRendezvous,
+        RunStats, TbAllocation, WatchdogSpec,
     };
     pub use gpu_sim::{
-        BlockGroup, Buf, CostModel, DevId, DeviceSpec, ExecMode, HostCtx, KernelCtx, Machine,
+        BlockGroup, Buf, CostModel, CrashFault, DevId, DeviceSpec, DropFault, ExecMode, FaultPlan,
+        FaultState, HostCtx, KernelCtx, LinkFault, Machine, StragglerFault,
     };
     pub use nvshmem_sim::{ShmemCtx, ShmemWorld, SymArray, SymSignal};
     pub use sim_des::{ms, ns, us, Category, Cmp, Engine, Flag, SignalOp, SimDur, SimTime};
-    pub use stencil_lab::{StencilConfig, Variant};
+    pub use stencil_lab::{FtConfig, StencilConfig, Variant};
 }

@@ -34,7 +34,9 @@ fn missing_put_is_diagnosed() {
     // The report names the stuck kernel agent (plus the host ranks and
     // supervisor blocked downstream of it).
     assert!(
-        blocked.iter().any(|b| b.contains("missing_put") && b.contains("flag")),
+        blocked
+            .iter()
+            .any(|b| b.contains("missing_put") && b.contains("flag")),
         "diagnostic: {blocked:?}"
     );
 }
@@ -105,7 +107,10 @@ fn remote_overflow_is_loud() {
     let Err(SimError::AgentPanic { message, .. }) = result else {
         panic!("expected panic, got {result:?}");
     };
-    assert!(message.contains("small"), "should name the array: {message}");
+    assert!(
+        message.contains("small"),
+        "should name the array: {message}"
+    );
     assert!(message.contains("out of range"), "{message}");
 }
 
@@ -128,6 +133,8 @@ fn grid_sync_outside_cooperative_launch_panics() {
 }
 
 /// Two PEs waiting on each other's signal in the wrong order: cyclic wait.
+/// Declaring the expected sender (`signal_wait_from`) turns the flat
+/// blocked list into a wait-for graph, and the diagnosis names the cycle.
 #[test]
 fn cyclic_wait_diagnosed_with_both_agents() {
     let (machine, world) = two_pe_machine();
@@ -138,17 +145,28 @@ fn cyclic_wait_diagnosed_with_both_agents() {
         let sig = sig.clone();
         vec![BlockGroup::new("comm", 1, move |k| {
             let mut sh = ShmemCtx::new(&w, k);
-            // BUG: both wait before either signals.
-            sh.signal_wait_until(k, &sig, Cmp::Ge, 1);
+            // BUG: both wait before either signals — each names the peer
+            // it expects the signal from, closing the wait-for cycle.
+            sh.signal_wait_from(k, &sig, Cmp::Ge, 1, 1 - pe);
             sh.signal_op(k, &sig, SignalOp::Set, 1, 1 - pe);
         })]
     });
-    let Err(SimError::Deadlock { blocked, .. }) = result else {
+    let Err(SimError::Deadlock { blocked, cycle, .. }) = result else {
         panic!("expected deadlock, got {result:?}");
     };
     // Both kernel agents appear in the diagnosis.
-    assert!(blocked.iter().any(|b| b.contains("gpu0.cycle")), "{blocked:?}");
-    assert!(blocked.iter().any(|b| b.contains("gpu1.cycle")), "{blocked:?}");
+    assert!(
+        blocked.iter().any(|b| b.contains("gpu0.cycle")),
+        "{blocked:?}"
+    );
+    assert!(
+        blocked.iter().any(|b| b.contains("gpu1.cycle")),
+        "{blocked:?}"
+    );
+    // And the wait-for graph names the full cycle, in order.
+    assert_eq!(cycle.len(), 2, "cycle: {cycle:?}");
+    assert!(cycle.iter().any(|a| a.contains("gpu0.cycle")), "{cycle:?}");
+    assert!(cycle.iter().any(|a| a.contains("gpu1.cycle")), "{cycle:?}");
 }
 
 /// Engine-level: an agent panic in one PE is attributed to the right agent.

@@ -71,7 +71,11 @@ fn handwritten_and_generated_cpu_free_agree_directionally() {
     let mut b = setup.sdfg.clone();
     gpu_transform(&mut b);
     let gen_base = run_discrete(
-        &b, 4, &setup.user_bindings(), 10, ExecMode::TimingOnly,
+        &b,
+        4,
+        &setup.user_bindings(),
+        10,
+        ExecMode::TimingOnly,
         &|pe, a| setup.init_local(pe, a),
     )
     .unwrap()
@@ -79,7 +83,11 @@ fn handwritten_and_generated_cpu_free_agree_directionally() {
     let mut f = setup.sdfg.clone();
     to_cpu_free(&mut f).unwrap();
     let gen_free = run_persistent(
-        &f, 4, &setup.user_bindings(), 10, ExecMode::TimingOnly,
+        &f,
+        4,
+        &setup.user_bindings(),
+        10,
+        ExecMode::TimingOnly,
         &|pe, a| setup.init_local(pe, a),
     )
     .unwrap()
@@ -104,7 +112,11 @@ fn whole_stack_determinism() {
         let mut f = setup.sdfg.clone();
         to_cpu_free(&mut f).unwrap();
         let out = run_persistent(
-            &f, 4, &setup.user_bindings(), 5, ExecMode::Full,
+            &f,
+            4,
+            &setup.user_bindings(),
+            5,
+            ExecMode::Full,
             &|pe, a| setup.init_local(pe, a),
         )
         .unwrap();
@@ -136,7 +148,9 @@ fn broken_protocol_is_diagnosed() {
     });
     match result {
         Err(sim_des::SimError::Deadlock { blocked, .. }) => {
-            assert!(blocked.iter().any(|b| b.contains("rank0") || b.contains("broken")));
+            assert!(blocked
+                .iter()
+                .any(|b| b.contains("rank0") || b.contains("broken")));
         }
         other => panic!("expected deadlock diagnosis, got {other:?}"),
     }

@@ -1,133 +1,204 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants of the stack.
+//! Property-style tests over the core data structures and invariants of the
+//! stack. Each test draws its cases from a seeded xorshift-style generator
+//! (SplitMix64), so runs are deterministic and need no external crates.
 
 use cpufree::dace_sim::{Bindings, Expr};
 use cpufree::prelude::*;
 use cpufree::sim_des::{Trace, TraceSpan};
 use cpufree::stencil_lab::Slab;
-use proptest::prelude::*;
 
-proptest! {
-    /// §4.1.2 allocation: conservation, minimums, and monotonicity in the
-    /// boundary share.
-    #[test]
-    fn tb_allocation_invariants(
-        total in 3u64..1024,
-        inner in 0u64..1_000_000,
-        boundary in 0u64..100_000,
-    ) {
-        let a = TbAllocation::proportional(total, inner, boundary);
-        prop_assert_eq!(a.total, total);
-        prop_assert_eq!(2 * a.boundary_tbs + a.inner_tbs, total);
-        prop_assert!(a.boundary_tbs >= 1);
-        prop_assert!(a.inner_tbs >= 1);
-        let f = 2.0 * a.boundary_fraction() + a.inner_fraction();
-        prop_assert!((f - 1.0).abs() < 1e-9);
+/// SplitMix64: tiny, high-quality, deterministic case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
     }
 
-    /// Allocation monotonicity: growing the boundary workload never takes
-    /// blocks AWAY from the boundary groups.
-    #[test]
-    fn tb_allocation_monotone_in_boundary(
-        total in 5u64..512,
-        inner in 1u64..1_000_000,
-        boundary in 1u64..50_000,
-    ) {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `lo..hi` (half-open, like proptest ranges).
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Uniform f64 in `lo..hi`.
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next_u64() as f64 / u64::MAX as f64) * (hi - lo)
+    }
+}
+
+/// §4.1.2 allocation: conservation, minimums, and monotonicity in the
+/// boundary share.
+#[test]
+fn tb_allocation_invariants() {
+    let mut g = Gen::new(0xA110C);
+    for _ in 0..256 {
+        let total = g.range_u64(3, 1024);
+        let inner = g.range_u64(0, 1_000_000);
+        let boundary = g.range_u64(0, 100_000);
+        let a = TbAllocation::proportional(total, inner, boundary);
+        assert_eq!(a.total, total);
+        assert_eq!(2 * a.boundary_tbs + a.inner_tbs, total);
+        assert!(a.boundary_tbs >= 1);
+        assert!(a.inner_tbs >= 1);
+        let f = 2.0 * a.boundary_fraction() + a.inner_fraction();
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+}
+
+/// Allocation monotonicity: growing the boundary workload never takes
+/// blocks AWAY from the boundary groups.
+#[test]
+fn tb_allocation_monotone_in_boundary() {
+    let mut g = Gen::new(0xB07D);
+    for _ in 0..256 {
+        let total = g.range_u64(5, 512);
+        let inner = g.range_u64(1, 1_000_000);
+        let boundary = g.range_u64(1, 50_000);
         let a = TbAllocation::proportional(total, inner, boundary);
         let b = TbAllocation::proportional(total, inner, boundary * 2);
-        prop_assert!(b.boundary_tbs >= a.boundary_tbs);
+        assert!(b.boundary_tbs >= a.boundary_tbs);
     }
+}
 
-    /// Slab decomposition: partition exactness, contiguity, balance.
-    #[test]
-    fn slab_invariants(interior in 1usize..10_000, n in 1usize..64) {
-        prop_assume!(interior >= n);
+/// Slab decomposition: partition exactness, contiguity, balance.
+#[test]
+fn slab_invariants() {
+    let mut g = Gen::new(0x51AB);
+    let mut cases = 0;
+    while cases < 256 {
+        let interior = g.range_usize(1, 10_000);
+        let n = g.range_usize(1, 64);
+        if interior < n {
+            continue; // proptest's prop_assume! equivalent
+        }
+        cases += 1;
         let s = Slab::new(interior, n);
         let total: usize = (0..n).map(|p| s.layers(p)).sum();
-        prop_assert_eq!(total, interior);
+        assert_eq!(total, interior);
         let mut cursor = 0;
         for p in 0..n {
-            prop_assert_eq!(s.start(p), cursor);
+            assert_eq!(s.start(p), cursor);
             cursor += s.layers(p);
             // Balance: never differ by more than one layer.
-            prop_assert!(s.layers(p) + 1 >= s.layers(0));
-            prop_assert!(s.layers(p) <= s.layers(0));
+            assert!(s.layers(p) + 1 >= s.layers(0));
+            assert!(s.layers(p) <= s.layers(0));
         }
     }
+}
 
-    /// Virtual time arithmetic: associativity/ordering survives conversion.
-    #[test]
-    fn simdur_arithmetic(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+/// Virtual time arithmetic: associativity/ordering survives conversion.
+#[test]
+fn simdur_arithmetic() {
+    let mut g = Gen::new(0x7133);
+    for _ in 0..512 {
+        let a = g.range_u64(0, u32::MAX as u64);
+        let b = g.range_u64(0, u32::MAX as u64);
         let (da, db) = (SimDur::from_nanos(a), SimDur::from_nanos(b));
-        prop_assert_eq!((da + db).as_nanos(), a + b);
-        prop_assert_eq!((SimTime::ZERO + da + db).since(SimTime::ZERO + da), db);
-        prop_assert_eq!(da * 3, SimDur::from_nanos(a * 3));
-        prop_assert!((da + db) >= da.max(db));
+        assert_eq!((da + db).as_nanos(), a + b);
+        assert_eq!((SimTime::ZERO + da + db).since(SimTime::ZERO + da), db);
+        assert_eq!(da * 3, SimDur::from_nanos(a * 3));
+        assert!((da + db) >= da.max(db));
     }
+}
 
-    /// Trace algebra: overlap(a,b) <= min(busy(a), busy(b)); busy <= total.
-    #[test]
-    fn trace_overlap_bounds(spans in prop::collection::vec((0u64..10_000, 1u64..500, 0u8..2), 1..40)) {
+/// Trace algebra: overlap(a,b) <= min(busy(a), busy(b)); busy <= total.
+#[test]
+fn trace_overlap_bounds() {
+    let mut g = Gen::new(0x07AC3);
+    for _ in 0..128 {
+        let n_spans = g.range_usize(1, 40);
         let mut t = Trace::new();
-        for (start, len, cat) in spans {
+        for _ in 0..n_spans {
+            let start = g.range_u64(0, 10_000);
+            let len = g.range_u64(1, 500);
+            let cat = g.range_u64(0, 2);
             t.push(TraceSpan {
                 agent: cpufree::sim_des::AgentId(0),
                 agent_name: "p".into(),
                 start: SimTime(start),
                 end: SimTime(start + len),
-                category: if cat == 0 { Category::Comm } else { Category::Compute },
+                category: if cat == 0 {
+                    Category::Comm
+                } else {
+                    Category::Compute
+                },
                 label: String::new(),
             });
         }
         let comm = t.busy(Category::Comm);
         let comp = t.busy(Category::Compute);
         let ov = t.overlap(Category::Comm, Category::Compute);
-        prop_assert!(ov <= comm);
-        prop_assert!(ov <= comp);
-        prop_assert!(comm <= t.total(Category::Comm));
+        assert!(ov <= comm);
+        assert!(ov <= comp);
+        assert!(comm <= t.total(Category::Comm));
         let r = t.overlap_ratio(Category::Comm, Category::Compute);
-        prop_assert!((0.0..=1.0).contains(&r));
+        assert!((0.0..=1.0).contains(&r));
     }
+}
 
-    /// Symbolic expressions evaluate compositionally.
-    #[test]
-    fn expr_compositionality(x in -1000i64..1000, y in 1i64..1000) {
+/// Symbolic expressions evaluate compositionally.
+#[test]
+fn expr_compositionality() {
+    let mut g = Gen::new(0xE49);
+    for _ in 0..256 {
+        let x = g.range_i64(-1000, 1000);
+        let y = g.range_i64(1, 1000);
         let mut b = Bindings::new();
         b.insert("x".into(), x);
         b.insert("y".into(), y);
         let e = Expr::s("x").mul(Expr::c(2)).add(Expr::s("y"));
-        prop_assert_eq!(e.eval(&b), 2 * x + y);
-        let d = Expr::s("x").div(Expr::s("y")).mul(Expr::s("y"))
+        assert_eq!(e.eval(&b), 2 * x + y);
+        let d = Expr::s("x")
+            .div(Expr::s("y"))
+            .mul(Expr::s("y"))
             .add(Expr::s("x").rem(Expr::s("y")));
-        prop_assert_eq!(d.eval(&b), x); // Euclid-ish identity for trunc div
-    }
-
-    /// Cost model sanity across random transfer sizes: device-initiated
-    /// communication is never slower than the host MPI path, and both are
-    /// monotone in size.
-    #[test]
-    fn cost_model_monotone(bytes in 8u64..(1 << 24)) {
-        let m = CostModel::a100_hgx();
-        prop_assert!(m.shmem_put(bytes) < m.mpi_msg(bytes));
-        prop_assert!(m.shmem_put(bytes) <= m.shmem_put(bytes * 2));
-        prop_assert!(m.p2p_copy(bytes) <= m.p2p_copy(bytes + 8));
-        prop_assert!(m.pcie_copy(bytes) > m.p2p_copy(bytes));
+        assert_eq!(d.eval(&b), x); // Euclid-ish identity for trunc div
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Cost model sanity across random transfer sizes: device-initiated
+/// communication is never slower than the host MPI path, and both are
+/// monotone in size.
+#[test]
+fn cost_model_monotone() {
+    let mut g = Gen::new(0xC057);
+    let m = CostModel::a100_hgx();
+    for _ in 0..512 {
+        let bytes = g.range_u64(8, 1 << 24);
+        assert!(m.shmem_put(bytes) < m.mpi_msg(bytes));
+        assert!(m.shmem_put(bytes) <= m.shmem_put(bytes * 2));
+        assert!(m.p2p_copy(bytes) <= m.p2p_copy(bytes + 8));
+        assert!(m.pcie_copy(bytes) > m.p2p_copy(bytes));
+    }
+}
 
-    /// FUNCTIONAL END-TO-END PROPERTY: for random small configurations, the
-    /// CPU-Free multi-GPU run is bitwise-identical to the sequential
-    /// reference. (Few cases: each runs a full simulation.)
-    #[test]
-    fn cpu_free_exact_for_random_configs(
-        nx in 8usize..40,
-        layers_per_gpu in 2usize..8,
-        gpus in 1usize..5,
-        iters in 1u64..7,
-    ) {
+/// FUNCTIONAL END-TO-END PROPERTY: for random small configurations, the
+/// CPU-Free multi-GPU run is bitwise-identical to the sequential
+/// reference. (Few cases: each runs a full simulation.)
+#[test]
+fn cpu_free_exact_for_random_configs() {
+    let mut g = Gen::new(0xF4EE);
+    for _ in 0..8 {
+        let nx = g.range_usize(8, 40);
+        let layers_per_gpu = g.range_usize(2, 8);
+        let gpus = g.range_usize(1, 5);
+        let iters = g.range_u64(1, 7);
         let cfg = StencilConfig {
             nx,
             ny: layers_per_gpu * gpus + 2,
@@ -140,18 +211,20 @@ proptest! {
             cost: None,
         };
         let out = Variant::CpuFree.run(&cfg);
-        prop_assert_eq!(out.max_err, Some(0.0));
+        assert_eq!(out.max_err, Some(0.0));
     }
+}
 
-    /// Same property for the discrete NVSHMEM baseline (different protocol,
-    /// same numerics).
-    #[test]
-    fn nvshmem_baseline_exact_for_random_configs(
-        nx in 8usize..32,
-        layers_per_gpu in 2usize..6,
-        gpus in 1usize..4,
-        iters in 1u64..6,
-    ) {
+/// Same property for the discrete NVSHMEM baseline (different protocol,
+/// same numerics).
+#[test]
+fn nvshmem_baseline_exact_for_random_configs() {
+    let mut g = Gen::new(0x5421);
+    for _ in 0..8 {
+        let nx = g.range_usize(8, 32);
+        let layers_per_gpu = g.range_usize(2, 6);
+        let gpus = g.range_usize(1, 4);
+        let iters = g.range_u64(1, 6);
         let cfg = StencilConfig {
             nx,
             ny: layers_per_gpu * gpus + 2,
@@ -164,27 +237,21 @@ proptest! {
             cost: None,
         };
         let out = Variant::BaselineNvshmem.run(&cfg);
-        prop_assert_eq!(out.max_err, Some(0.0));
+        assert_eq!(out.max_err, Some(0.0));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// Collectives: the device-side allreduce equals the order-matched
-    /// reference for random values and PE counts (each case runs a full
-    /// simulation, so few cases).
-    #[test]
-    fn allreduce_matches_reference(
-        n_pow in 0usize..4,
-        seedvals in prop::collection::vec(-100.0f64..100.0, 8),
-    ) {
-        use cpufree::nvshmem_sim::{
-            allreduce_scalar, reference_reduce, AllreduceWs, ReduceOp,
-        };
-        use std::sync::{Arc, Mutex};
-        let n = 1usize << n_pow; // 1, 2, 4, 8
-        let values: Vec<f64> = seedvals[..n].to_vec();
+/// Collectives: the device-side allreduce equals the order-matched
+/// reference for random values and PE counts (each case runs a full
+/// simulation, so few cases).
+#[test]
+fn allreduce_matches_reference() {
+    use cpufree::nvshmem_sim::{allreduce_scalar, reference_reduce, AllreduceWs, ReduceOp};
+    use std::sync::{Arc, Mutex};
+    let mut g = Gen::new(0xA11);
+    for _ in 0..6 {
+        let n = 1usize << g.range_usize(0, 4); // 1, 2, 4, 8
+        let values: Vec<f64> = (0..n).map(|_| g.range_f64(-100.0, 100.0)).collect();
         let machine = Machine::new(n, CostModel::a100_hgx(), ExecMode::Full);
         let world = ShmemWorld::init(&machine);
         let ws = AllreduceWs::new(&world);
@@ -205,21 +272,23 @@ proptest! {
         .unwrap();
         let expect = reference_reduce(&values, ReduceOp::Sum, true);
         let out = results.lock().unwrap();
-        prop_assert!(out.iter().all(|r| *r == expect), "{out:?} != {expect}");
+        assert!(out.iter().all(|r| *r == expect), "{out:?} != {expect}");
     }
+}
 
-    /// The 2D grid decomposition is exact for random shapes.
-    #[test]
-    fn grid2d_exact_for_random_shapes(
-        rows in 2usize..7,
-        cols in 2usize..7,
-        pr in 1usize..3,
-        pc in 1usize..3,
-        iters in 1u64..4,
-    ) {
-        use cpufree::stencil_lab::{run_grid2d_cpu_free, Grid2DConfig};
+/// The 2D grid decomposition is exact for random shapes.
+#[test]
+fn grid2d_exact_for_random_shapes() {
+    use cpufree::stencil_lab::{run_grid2d_cpu_free, Grid2DConfig};
+    let mut g = Gen::new(0x62D);
+    for _ in 0..6 {
+        let rows = g.range_usize(2, 7);
+        let cols = g.range_usize(2, 7);
+        let pr = g.range_usize(1, 3);
+        let pc = g.range_usize(1, 3);
+        let iters = g.range_u64(1, 4);
         let cfg = Grid2DConfig::new(rows, cols, (pr, pc), iters);
         let out = run_grid2d_cpu_free(&cfg);
-        prop_assert_eq!(out.max_err, Some(0.0));
+        assert_eq!(out.max_err, Some(0.0));
     }
 }
