@@ -3,9 +3,89 @@
 //! ```text
 //! cargo run -p cpufree-bench --release --bin figures            # everything
 //! cargo run -p cpufree-bench --release --bin figures -- fig6_1  # one figure
+//! cargo run -p cpufree-bench --release --bin figures -- --json  # + BENCH_*.json
 //! ```
+//!
+//! With `--json`, every point-based figure also lands in a
+//! `BENCH_<figure>.json` file in the working directory (plain arrays of
+//! objects, times in nanoseconds) for external plotting.
 
 use cpufree_bench::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set once in `main` when `--json` is passed.
+static JSON: AtomicBool = AtomicBool::new(false);
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn points_json(rows: &[Point]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"series\":\"{}\",\"gpus\":{},\"per_iter_ns\":{},\"comm_ns\":{},\
+                 \"sync_ns\":{},\"exposed_comm_ns\":{},\"overlap\":{:.6},\"total_ns\":{}}}",
+                json_escape(&p.series),
+                p.gpus,
+                p.per_iter.as_nanos(),
+                p.comm.as_nanos(),
+                p.sync.as_nanos(),
+                p.exposed_comm.as_nanos(),
+                p.overlap,
+                p.total.as_nanos()
+            )
+        })
+        .collect();
+    format!("[\n  {}\n]\n", items.join(",\n  "))
+}
+
+fn dace_json(rows: &[DacePoint]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"gpus\":{},\"baseline_total_ns\":{},\"baseline_comm_ns\":{},\
+                 \"cpufree_total_ns\":{},\"cpufree_comm_ns\":{},\
+                 \"improvement_pct\":{:.3},\"comm_improvement_pct\":{:.3}}}",
+                p.gpus,
+                p.baseline_total.as_nanos(),
+                p.baseline_comm.as_nanos(),
+                p.cpufree_total.as_nanos(),
+                p.cpufree_comm.as_nanos(),
+                p.improvement_pct,
+                p.comm_improvement_pct
+            )
+        })
+        .collect();
+    format!("[\n  {}\n]\n", items.join(",\n  "))
+}
+
+fn topo_json(rows: &[TopoRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"topology\":\"{}\",\"pairs\":{},\"per_transfer_ns\":{},\"makespan_ns\":{}}}",
+                r.topology,
+                r.pairs,
+                r.per_transfer.as_nanos(),
+                r.makespan.as_nanos()
+            )
+        })
+        .collect();
+    format!("[\n  {}\n]\n", items.join(",\n  "))
+}
+
+fn write_json(name: &str, body: String) {
+    if !JSON.load(Ordering::Relaxed) {
+        return;
+    }
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("[wrote {path}]");
+}
 
 fn print_points(rows: &[Point]) {
     println!(
@@ -62,11 +142,13 @@ fn fig2_2() {
     println!("== Fig 2.2a — pure communication+synchronization overhead (no compute) ==");
     let rows = fig2_2a();
     print_points(&rows);
+    write_json("fig2_2a", points_json(&rows));
     print_speedups(&rows, "CPU-Free", &["Baseline Copy Overlap"]);
 
     println!("\n== Fig 2.2b — communication overlap ratio and total time (small domain) ==");
     let rows = fig2_2b();
     print_points(&rows);
+    write_json("fig2_2b", points_json(&rows));
     for p in rows.iter().filter(|p| p.gpus == 8) {
         let comm_frac = (p.comm + p.sync).as_nanos() as f64 / p.total.as_nanos() as f64 * 100.0
             / GPU_COUNTS.len() as f64
@@ -90,6 +172,7 @@ fn fig6_1_print() {
     for (label, rows) in fig6_1() {
         println!("\n-- domain {label} --");
         print_points(&rows);
+        write_json(&format!("fig6_1_{label}"), points_json(&rows));
         print_speedups(
             &rows,
             "CPU-Free",
@@ -106,6 +189,7 @@ fn fig6_2_print() {
     for (label, rows) in fig6_2() {
         println!("\n-- {label} --");
         print_points(&rows);
+        write_json(&format!("fig6_2_{label}"), points_json(&rows));
         print_speedups(
             &rows,
             "CPU-Free",
@@ -135,9 +219,13 @@ fn print_dace(rows: &[DacePoint]) {
 
 fn fig6_3_print() {
     println!("== Fig 6.3a — DaCe Jacobi 1D: MPI baseline vs CPU-Free ==");
-    print_dace(&fig6_3a());
+    let a = fig6_3a();
+    print_dace(&a);
+    write_json("fig6_3a", dace_json(&a));
     println!("\n== Fig 6.3b — DaCe Jacobi 2D: MPI baseline vs CPU-Free ==");
-    print_dace(&fig6_3b());
+    let b = fig6_3b();
+    print_dace(&b);
+    write_json("fig6_3b", dace_json(&b));
 }
 
 fn ablations() {
@@ -163,8 +251,37 @@ fn ablations() {
 
 fn sensitivity() {
     println!("== Sensitivity — NVLink vs PCIe-only interconnect (small 2D, 8 GPUs) ==");
-    print_points(&sensitivity_interconnect());
+    let rows = sensitivity_interconnect();
+    print_points(&rows);
+    write_json("sensitivity", points_json(&rows));
     println!("(the CPU-Free advantage persists on slow links: it is a control-path effect)");
+}
+
+fn topo() {
+    println!("== Topology — shared-hop contention under concurrent cross-partition puts ==");
+    let rows = topo_contention();
+    println!(
+        "{:<20} {:>6} {:>14} {:>14} {:>9}",
+        "topology", "pairs", "per-transfer", "makespan", "slowdown"
+    );
+    for r in &rows {
+        let base = rows
+            .iter()
+            .find(|b| b.topology == r.topology && b.pairs == 1)
+            .expect("pairs=1 row");
+        let slowdown = r.makespan.as_nanos() as f64 / base.makespan.as_nanos() as f64;
+        println!(
+            "{:<20} {:>6} {:>14} {:>14} {:>8.2}x",
+            r.topology,
+            r.pairs,
+            format!("{}", r.per_transfer),
+            format!("{}", r.makespan),
+            slowdown
+        );
+    }
+    write_json("topo", topo_json(&rows));
+    println!("(dedicated links stay flat; shared hops — PCIe bridges, ring arcs, the");
+    println!(" two-node NIC — queue concurrent pairs and stretch the makespan)");
 }
 
 fn grid2d() {
@@ -232,7 +349,11 @@ fn faults() {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        args.remove(i);
+        JSON.store(true, Ordering::Relaxed);
+    }
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a == name);
     if want("fig2_1") {
@@ -277,6 +398,10 @@ fn main() {
     }
     if want("sensitivity") {
         sensitivity();
+        println!();
+    }
+    if want("topo") {
+        topo();
         println!();
     }
     if want("grid2d") {

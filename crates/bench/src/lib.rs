@@ -81,6 +81,7 @@ pub fn weak2d(base: usize, gpus: usize, iters: u64) -> StencilConfig {
         no_compute: false,
         threads_per_block: 1024,
         cost: None,
+        topology: None,
     }
 }
 
@@ -97,6 +98,7 @@ pub fn weak3d(nx: usize, ny: usize, base_z: usize, gpus: usize, iters: u64) -> S
         no_compute: false,
         threads_per_block: 1024,
         cost: None,
+        topology: None,
     }
 }
 
@@ -112,6 +114,7 @@ pub fn strong3d(nx: usize, ny: usize, nz: usize, gpus: usize, iters: u64) -> Ste
         no_compute: false,
         threads_per_block: 1024,
         cost: None,
+        topology: None,
     }
 }
 
@@ -564,6 +567,58 @@ pub fn sensitivity_interconnect() -> Vec<Point> {
     rows
 }
 
+/// One row of the topology contention sweep.
+#[derive(Debug, Clone)]
+pub struct TopoRow {
+    /// Topology preset name.
+    pub topology: &'static str,
+    /// Concurrent cross-partition pairs driving traffic.
+    pub pairs: usize,
+    /// Mean time per transfer on the busiest pair.
+    pub per_transfer: SimDur,
+    /// Virtual time until the last transfer drains.
+    pub makespan: SimDur,
+}
+
+/// Topology sweep: `pairs` concurrent cross-partition P2P streams
+/// (device `i` -> `i + n/2`) each push a burst of large transfers through
+/// [`gpu_sim::Transport`]. Dedicated-link topologies (NVLink all-to-all)
+/// stay flat as pairs are added; routed topologies with shared hops
+/// (PCIe host bridges, ring arcs, the two-node NIC) queue and slow down.
+pub fn topo_contention() -> Vec<TopoRow> {
+    use gpu_sim::{CostModel, DevId, Topology, TopologyKind, Transport};
+    use sim_des::SimTime;
+    const N: usize = 8;
+    const BYTES: u64 = 64 << 20;
+    const REPS: u64 = 4;
+    let cost = CostModel::a100_hgx();
+    let mut rows = Vec::new();
+    for kind in TopologyKind::ALL {
+        for pairs in [1usize, 2, 4] {
+            // Fresh link state per cell: the sweep measures queueing within
+            // one traffic pattern, not across cells.
+            let topo = Topology::build(kind, N, &cost);
+            let t = Transport::new(topo, cost.clone());
+            let mut makespan = SimDur::ZERO;
+            for i in 0..pairs {
+                let mut now = SimTime::ZERO;
+                for _ in 0..REPS {
+                    let dur = t.p2p(DevId(i), DevId(i + N / 2), BYTES, now);
+                    now += dur;
+                }
+                makespan = makespan.max(now.since(SimTime::ZERO));
+            }
+            rows.push(TopoRow {
+                topology: kind.name(),
+                pairs,
+                per_transfer: makespan / REPS,
+                makespan,
+            });
+        }
+    }
+    rows
+}
+
 /// Extension: the handwritten 2D **grid**-decomposed stencil (four
 /// neighbors, strided east/west `iput`) — CPU-Free vs discrete baseline.
 pub fn grid2d_comparison() -> Vec<(usize, SimDur, SimDur, f64)> {
@@ -696,6 +751,7 @@ pub fn fault_recovery_overhead() -> Vec<FaultRow> {
         no_compute: false,
         threads_per_block: 1024,
         cost: None,
+        topology: None,
     };
     let clean = run_jacobi_ft(&FtConfig::new(base.clone(), FaultPlan::new()))
         .expect("fault-free jacobi FT run failed");

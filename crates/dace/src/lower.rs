@@ -430,19 +430,26 @@ fn exec_state_discrete(
                     host.memcpy_async(stream, &ch.staging, 0, &sbuf, r.offset, r.count);
                     host.sync_stream(stream);
                 } else {
-                    // MPI_Type_vector: host-path pack, element by element.
+                    // MPI_Type_vector: host-path pack, then a D2D copy to
+                    // the remote staging buffer over the routed link.
+                    let dur = cost.mpi_vector_pack(r.count as u64)
+                        + inst
+                            .machine
+                            .transport()
+                            .p2p(DevId(pe), DevId(dst), bytes, host.now());
                     host.agent_mut().busy(
                         Category::Comm,
                         format!("MPI_Type_vector pack x{}", r.count),
-                        cost.mpi_vector_pack(r.count as u64) + cost.p2p_copy(bytes),
+                        dur,
                     );
                     ch.staging
                         .copy_strided_from(0, 1, &sbuf, r.offset, r.stride, r.count);
                 }
                 host.agent_mut()
                     .busy(Category::Api, "MPI_Isend", cost.api_call());
+                let msg_dur = inst.machine.transport().mpi_msg(pe, dst, bytes, host.now());
                 host.agent_mut()
-                    .schedule_signal(ch.msg, SignalOp::Add, 1, cost.mpi_msg(bytes));
+                    .schedule_signal(ch.msg, SignalOp::Add, 1, msg_dur);
             }
             Op::Lib(LibNode::MpiIrecv { buf, src, tag }) => {
                 host.agent_mut()
@@ -466,10 +473,19 @@ fn exec_state_discrete(
                         host.memcpy_async(stream, &dbuf, r.offset, &ch.staging, 0, r.count);
                         host.sync_stream(stream);
                     } else {
+                        // Unpack: the pipelined D2D copy inside the MPI
+                        // library crosses the sender's route once more.
+                        let dur = cost.mpi_vector_pack(r.count as u64)
+                            + inst.machine.transport().p2p(
+                                DevId(key.0),
+                                DevId(pe),
+                                bytes,
+                                host.now(),
+                            );
                         host.agent_mut().busy(
                             Category::Comm,
                             format!("MPI_Type_vector unpack x{}", r.count),
-                            cost.mpi_vector_pack(r.count as u64) + cost.p2p_copy(bytes),
+                            dur,
                         );
                         dbuf.copy_strided_from(r.offset, r.stride, &ch.staging, 0, 1, r.count);
                     }

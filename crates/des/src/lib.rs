@@ -9,6 +9,9 @@
 //! * **flags** (64-bit signal cells with comparison waits, mirroring the
 //!   NVSHMEM signaling API) and reusable **barriers** (mirroring CUDA
 //!   cooperative-groups `grid.sync()`);
+//! * serialized **resources** — virtual-time occupancy bookkeeping for
+//!   shared channels (interconnect links), so concurrent transfers on the
+//!   same hop queue instead of overlapping for free ([`Resource`]);
 //! * **span traces** with overlap analysis — the simulator's replacement for
 //!   Nsight timelines ([`Trace`]);
 //! * **deadlock detection** with per-agent diagnostics, used by the failure
@@ -23,6 +26,7 @@ mod agent;
 mod engine;
 pub mod fault;
 pub mod lock;
+mod resource;
 mod sync;
 mod time;
 pub mod trace;
@@ -30,6 +34,7 @@ pub mod trace;
 pub use agent::{AgentCtx, AgentId, WaitTimedOut};
 pub use engine::{BlockedInfo, Engine, SimError};
 pub use fault::{CrashFault, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault};
+pub use resource::{Reservation, Resource, ResourceStats};
 pub use sync::{Barrier, Cmp, Flag, SignalOp};
 pub use time::{ms, ns, us, SimDur, SimTime};
 pub use trace::{Category, Trace, TraceSpan};

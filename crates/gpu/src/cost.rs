@@ -12,9 +12,19 @@
 
 use sim_des::{us, SimDur};
 
+use crate::topo::TopologyKind;
+
 /// Calibrated latencies and bandwidths for the simulated node.
+///
+/// Fixed per-operation software latencies live here; *wire* time and
+/// queueing live in the [`crate::Topology`] selected by
+/// [`CostModel::topology`] and are charged through [`crate::Transport`].
 #[derive(Debug, Clone)]
 pub struct CostModel {
+    /// Interconnect graph machines built from this model charge transfers
+    /// on. `a100_hgx()` selects the all-to-all NVLink fabric; `pcie_only()`
+    /// the shared-bridge PCIe tree.
+    pub topology: TopologyKind,
     /// Host-visible latency of an asynchronous kernel launch enqueue (µs).
     pub kernel_launch_host_us: f64,
     /// Device-side delay from enqueue to kernel start (µs).
@@ -39,6 +49,11 @@ pub struct CostModel {
     pub pcie_latency_us: f64,
     /// Effective PCIe bandwidth host<->device (GB/s).
     pub pcie_gbps: f64,
+    /// Effective bandwidth of one inter-node NIC (GB/s), used by the
+    /// two-node topology preset.
+    pub nic_gbps: f64,
+    /// Forwarding latency of the inter-node NIC hop (µs).
+    pub nic_latency_us: f64,
     /// Latency of a device-initiated NVSHMEM put (µs).
     pub shmem_put_us: f64,
     /// Latency of an NVSHMEM signal/atomic operation (µs).
@@ -87,6 +102,7 @@ impl CostModel {
     /// with A100s connected all-to-all by NVLink.
     pub fn a100_hgx() -> Self {
         CostModel {
+            topology: TopologyKind::NvlinkAllToAll,
             kernel_launch_host_us: 3.0,
             kernel_launch_device_us: 7.5,
             api_call_us: 1.2,
@@ -99,6 +115,8 @@ impl CostModel {
             nvlink_gbps: 235.0,
             pcie_latency_us: 4.5,
             pcie_gbps: 24.0,
+            nic_gbps: 25.0,
+            nic_latency_us: 2.0,
             shmem_put_us: 2.2,
             shmem_signal_us: 1.3,
             shmem_iput_elem_us: 0.011,
@@ -122,6 +140,7 @@ impl CostModel {
     /// on the fast fabric and which on the control path alone.
     pub fn pcie_only() -> Self {
         CostModel {
+            topology: TopologyKind::PcieTree,
             nvlink_gbps: 22.0,
             p2p_latency_us: 9.0,
             shmem_put_us: 4.5,
@@ -131,9 +150,11 @@ impl CostModel {
         }
     }
 
-    /// Duration of moving `bytes` at `gbps` effective bandwidth.
+    /// Duration of moving `bytes` at `gbps` effective bandwidth. Shared
+    /// with the Transport layer so per-link wire time uses the exact same
+    /// rounding as the flat per-op formulas.
     #[inline]
-    fn bw_time(bytes: u64, gbps: f64) -> SimDur {
+    pub(crate) fn bw_time(bytes: u64, gbps: f64) -> SimDur {
         // GB/s == bytes/ns.
         SimDur::from_nanos((bytes as f64 / gbps).ceil() as u64)
     }

@@ -105,7 +105,9 @@ impl<'a> HostCtx<'a> {
 
     /// Asynchronous memory copy in stream order (`cudaMemcpyAsync`); the
     /// copy kind (PCIe / NVLink P2P / device-local) is inferred from the
-    /// buffer locations.
+    /// buffer locations. The host side charges only the API call; the wire
+    /// time is charged by the stream agent through [`crate::Transport`],
+    /// queueing on the route's links if they are busy.
     pub fn memcpy_async(
         &mut self,
         stream: &Stream,

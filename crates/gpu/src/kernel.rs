@@ -167,7 +167,8 @@ impl<'a> KernelCtx<'a> {
     }
 
     /// Direct peer load/store over UVA: synchronously move `len` elements
-    /// between devices from within the kernel, charging the P2P cost.
+    /// between devices from within the kernel, charging the routed P2P
+    /// cost (the transfer occupies every link on the `src -> dst` route).
     ///
     /// This is the Baseline-P2P communication style: GPU-initiated data
     /// movement, but synchronous with respect to the issuing kernel.
@@ -181,7 +182,10 @@ impl<'a> KernelCtx<'a> {
         label: impl Into<String>,
     ) {
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
-        let dur = self.cost().p2p_copy(bytes);
+        let (dur, _) =
+            self.machine
+                .transport()
+                .memcpy(src.place(), dst.place(), bytes, self.agent.now());
         self.busy(Category::Comm, label, dur);
         dst.copy_from(dst_off, src, src_off, len);
     }

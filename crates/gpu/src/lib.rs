@@ -15,7 +15,10 @@
 //! * **memory** as real `f64` buffers ([`Buf`]) so workloads are verifiable,
 //!   with time charged separately through the [`CostModel`];
 //! * UVA-style **peer load/store** from inside kernels
-//!   ([`KernelCtx::p2p_copy`]).
+//!   ([`KernelCtx::p2p_copy`]);
+//! * an **interconnect topology** — routed, shared links with serialized
+//!   bandwidth, so concurrent transfers on a common hop queue
+//!   ([`Topology`], [`Transport`], [`TopologyKind`]).
 //!
 //! Timing and function are decoupled: [`ExecMode::TimingOnly`] elides
 //! arithmetic but preserves the exact protocol, for large-domain sweeps.
@@ -29,6 +32,7 @@ mod kernel;
 mod machine;
 mod mem;
 mod stream;
+mod topo;
 
 pub use cost::CostModel;
 pub use device::DeviceSpec;
@@ -38,6 +42,7 @@ pub use machine::{ExecMode, Machine};
 pub use mem::{Buf, DevId, Place};
 pub use sim_des::{CrashFault, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault};
 pub use stream::Stream;
+pub use topo::{Endpoint, Link, Topology, TopologyKind, Transport};
 
 #[cfg(test)]
 mod tests {

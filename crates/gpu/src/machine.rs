@@ -5,6 +5,7 @@ use crate::device::DeviceSpec;
 use crate::host::HostCtx;
 use crate::mem::{Buf, DevId, Place};
 use crate::stream::StreamShared;
+use crate::topo::{Topology, TopologyKind, Transport};
 use sim_des::lock::Mutex;
 use sim_des::{Barrier, Engine, FaultPlan, FaultState, Flag, SignalOp, SimError, SimTime, Trace};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -30,6 +31,7 @@ pub(crate) struct MachineInner {
     pub(crate) hosts_done: Flag,
     pub(crate) ran: AtomicBool,
     pub(crate) faults: Mutex<Arc<FaultState>>,
+    pub(crate) transport: Transport,
 }
 
 /// A simulated multi-GPU node.
@@ -53,9 +55,22 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Create a node with `num_devices` GPUs of the default A100 spec.
+    /// Create a node with `num_devices` GPUs of the default A100 spec, on
+    /// the interconnect selected by `cost.topology`.
     pub fn new(num_devices: usize, cost: CostModel, exec_mode: ExecMode) -> Machine {
         Machine::with_spec(num_devices, DeviceSpec::a100(), cost, exec_mode)
+    }
+
+    /// Create a node on an explicit interconnect graph, overriding the
+    /// cost model's default `topology` selection.
+    pub fn with_topology(
+        num_devices: usize,
+        mut cost: CostModel,
+        topology: TopologyKind,
+        exec_mode: ExecMode,
+    ) -> Machine {
+        cost.topology = topology;
+        Machine::new(num_devices, cost, exec_mode)
     }
 
     /// Create a node with a custom device spec.
@@ -68,6 +83,8 @@ impl Machine {
         assert!(num_devices > 0, "need at least one device");
         let engine = Engine::new();
         let hosts_done = engine.flag(0);
+        let topo = Topology::build(cost.topology, num_devices, &cost);
+        let transport = Transport::new(topo, cost.clone());
         Machine {
             inner: Arc::new(MachineInner {
                 engine,
@@ -80,6 +97,7 @@ impl Machine {
                 hosts_done,
                 ran: AtomicBool::new(false),
                 faults: Mutex::new(FaultState::none()),
+                transport,
             }),
         }
     }
@@ -103,6 +121,16 @@ impl Machine {
     /// The cost model in effect.
     pub fn cost(&self) -> &CostModel {
         &self.inner.cost
+    }
+
+    /// The transfer-charging layer: routes, link occupancy, fault slowdown.
+    pub fn transport(&self) -> &Transport {
+        &self.inner.transport
+    }
+
+    /// The interconnect graph this node was built on.
+    pub fn topology(&self) -> &Arc<Topology> {
+        self.inner.transport.topology()
     }
 
     /// The device architecture.

@@ -8,7 +8,7 @@
 
 use crate::kernel::{KernelBody, KernelCtx};
 use crate::machine::Machine;
-use crate::mem::{Buf, DevId, Place};
+use crate::mem::{Buf, DevId};
 use sim_des::lock::Mutex;
 use sim_des::{Category, Cmp, Flag, SignalOp};
 use std::collections::VecDeque;
@@ -111,15 +111,10 @@ pub(crate) fn stream_agent_main(
                     len,
                 } => {
                     let bytes = (len * std::mem::size_of::<f64>()) as u64;
-                    let (dur, label) = match (src.place(), dst.place()) {
-                        (Place::Host, _) | (_, Place::Host) => {
-                            (cost.pcie_copy(bytes), "memcpy pcie")
-                        }
-                        (a, b) if a.device() == b.device() => {
-                            (cost.local_copy(bytes), "memcpy local")
-                        }
-                        _ => (cost.p2p_copy(bytes), "memcpy p2p"),
-                    };
+                    let (dur, label) =
+                        machine
+                            .transport()
+                            .memcpy(src.place(), dst.place(), bytes, ctx.now());
                     ctx.busy(Category::Comm, format!("{label} {len}el"), dur);
                     dst.copy_from(dst_off, &src, src_off, len);
                     ctx.signal(shared.completed, SignalOp::Add, 1);

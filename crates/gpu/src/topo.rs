@@ -1,0 +1,771 @@
+//! Interconnect topology and the Transport charging layer.
+//!
+//! The flat [`CostModel`] assumes every transfer gets a dedicated,
+//! uncontended wire. This module replaces that assumption with a graph of
+//! [`Link`]s: each `(src, dst)` endpoint pair maps to a *route* (an ordered
+//! list of links), and every link is a serialized virtual-time resource
+//! ([`sim_des::Resource`]) — concurrent transfers crossing the same hop
+//! genuinely queue behind each other.
+//!
+//! Four node shapes are modeled ([`TopologyKind`]):
+//!
+//! * **NvlinkAllToAll** — the HGX baseline: a dedicated full-duplex NVLink
+//!   per ordered device pair. Uncontended charges reproduce the flat model
+//!   exactly; queueing appears only when the *same* ordered pair carries
+//!   overlapping transfers.
+//! * **NvlinkRing** — devices on a bidirectional ring; traffic takes the
+//!   shorter arc and pays a forwarding latency per intermediate hop, and
+//!   distant pairs contend for the ring segments between them.
+//! * **PcieTree** — no fast fabric: each device hangs off a PCIe lane under
+//!   a shared host bridge (4 devices per bridge); cross-bridge traffic
+//!   funnels through the bridge uplinks, the classic shared-hop bottleneck.
+//! * **TwoNode** — two NVLink all-to-all nodes joined by one NIC per node;
+//!   every cross-node flow shares the two NICs.
+//!
+//! All charging flows through [`Transport`]: fixed per-op software latencies
+//! still come from the [`CostModel`], but wire time and queueing come from
+//! the route. Fault-injected link degradation (`FaultState::link_mult`) is
+//! applied in exactly one place, [`Transport::put_signal_delivery`].
+
+use std::sync::Arc;
+
+use sim_des::{us, FaultState, Resource, ResourceStats, SimDur, SimTime};
+
+use crate::cost::CostModel;
+use crate::mem::{DevId, Place};
+
+/// Which interconnect graph a machine charges transfers on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Dedicated NVLink per ordered device pair (HGX all-to-all).
+    NvlinkAllToAll,
+    /// Bidirectional NVLink ring; shorter-arc routing with forwarding hops.
+    NvlinkRing,
+    /// PCIe tree: per-device lanes under shared host bridges, no fast fabric.
+    PcieTree,
+    /// Two all-to-all nodes bridged by one NIC link per node.
+    TwoNode,
+}
+
+impl TopologyKind {
+    /// All presets, in display order.
+    pub const ALL: [TopologyKind; 4] = [
+        TopologyKind::NvlinkAllToAll,
+        TopologyKind::NvlinkRing,
+        TopologyKind::PcieTree,
+        TopologyKind::TwoNode,
+    ];
+
+    /// Short human-readable name (used by figures and JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::NvlinkAllToAll => "nvlink-all-to-all",
+            TopologyKind::NvlinkRing => "nvlink-ring",
+            TopologyKind::PcieTree => "pcie-tree",
+            TopologyKind::TwoNode => "two-node",
+        }
+    }
+}
+
+/// One physical link: a serialized channel with fixed bandwidth.
+#[derive(Debug)]
+pub struct Link {
+    name: String,
+    gbps: f64,
+    /// Forwarding latency paid when a message *enters* this link from a
+    /// previous hop (zero-cost on the first hop of a route).
+    hop_latency: SimDur,
+    res: Resource,
+}
+
+impl Link {
+    fn new(name: String, gbps: f64, hop_latency: SimDur) -> Link {
+        Link {
+            name,
+            gbps,
+            hop_latency,
+            res: Resource::new(),
+        }
+    }
+
+    /// Link name, e.g. `nvl0>1`, `pcie.lane3`, `pcie.bridge0`, `nic1`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Effective bandwidth of this link (GB/s).
+    pub fn gbps(&self) -> f64 {
+        self.gbps
+    }
+
+    /// Lifetime occupancy counters (reservations, busy time, queue delay).
+    pub fn stats(&self) -> ResourceStats {
+        self.res.stats()
+    }
+}
+
+/// A transfer endpoint: the host, or one device of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Host memory (behind the PCIe root).
+    Host,
+    /// A device's HBM.
+    Dev(DevId),
+}
+
+impl From<DevId> for Endpoint {
+    fn from(d: DevId) -> Endpoint {
+        Endpoint::Dev(d)
+    }
+}
+
+impl From<Place> for Endpoint {
+    fn from(p: Place) -> Endpoint {
+        match p.device() {
+            Some(d) => Endpoint::Dev(d),
+            None => Endpoint::Host,
+        }
+    }
+}
+
+/// Devices sharing one PCIe host bridge in the [`TopologyKind::PcieTree`]
+/// preset.
+const PCIE_DEVICES_PER_BRIDGE: usize = 4;
+
+/// The interconnect graph: links plus per-pair routes.
+#[derive(Debug)]
+pub struct Topology {
+    kind: TopologyKind,
+    n_devices: usize,
+    links: Vec<Link>,
+    /// `dev_routes[src][dst]` = link indices crossed by a `src -> dst`
+    /// device transfer (empty when `src == dst`).
+    dev_routes: Vec<Vec<Vec<usize>>>,
+    /// `host_routes[dev]` = link indices between the host and `dev`.
+    host_routes: Vec<Vec<usize>>,
+    /// Ring embedding derived from the graph (see [`Topology::ring_order`]).
+    ring: Vec<usize>,
+}
+
+impl Topology {
+    /// Build the link graph for `kind` over `n` devices, calibrated from
+    /// `cost` (bandwidths and forwarding latencies).
+    #[allow(clippy::needless_range_loop)] // (src, dst) matrix indexing reads best
+    pub fn build(kind: TopologyKind, n: usize, cost: &CostModel) -> Arc<Topology> {
+        assert!(n >= 1, "topology needs at least one device");
+        let mut links = Vec::new();
+        let mut dev_routes = vec![vec![Vec::new(); n]; n];
+        let mut host_routes = vec![Vec::new(); n];
+
+        // Per-device PCIe lane to the host. Every preset has one; in the
+        // PcieTree preset the same lane also carries peer traffic.
+        let bridge_hop = us(cost.pcie_latency_us) * 0.25;
+        let lane_base = links.len();
+        for d in 0..n {
+            links.push(Link::new(
+                format!("pcie.lane{d}"),
+                cost.pcie_gbps,
+                bridge_hop,
+            ));
+            host_routes[d].push(lane_base + d);
+        }
+
+        match kind {
+            TopologyKind::NvlinkAllToAll => {
+                for s in 0..n {
+                    for d in 0..n {
+                        if s == d {
+                            continue;
+                        }
+                        let idx = links.len();
+                        links.push(Link::new(
+                            format!("nvl{s}>{d}"),
+                            cost.nvlink_gbps,
+                            SimDur::ZERO,
+                        ));
+                        dev_routes[s][d].push(idx);
+                    }
+                }
+            }
+            TopologyKind::NvlinkRing => {
+                // One shared link per undirected ring edge {i, i+1 mod n};
+                // both directions and all pass-through flows contend on it.
+                let fwd = us(cost.p2p_latency_us);
+                let edge_base = links.len();
+                let edges = if n > 1 { n } else { 0 };
+                for e in 0..edges {
+                    links.push(Link::new(
+                        format!("ring{e}>{}", (e + 1) % n),
+                        cost.nvlink_gbps,
+                        fwd,
+                    ));
+                }
+                for s in 0..n {
+                    for d in 0..n {
+                        if s == d {
+                            continue;
+                        }
+                        // Shorter arc; ties go clockwise (increasing index).
+                        let cw = (d + n - s) % n;
+                        let ccw = n - cw;
+                        let route = &mut dev_routes[s][d];
+                        if cw <= ccw {
+                            for h in 0..cw {
+                                route.push(edge_base + (s + h) % n);
+                            }
+                        } else {
+                            for h in 0..ccw {
+                                route.push(edge_base + (s + n - 1 - h) % n);
+                            }
+                        }
+                    }
+                }
+            }
+            TopologyKind::PcieTree => {
+                // lanes (built above) + one shared uplink per bridge; peer
+                // traffic crosses its own lane, the bridge uplink(s), and
+                // the destination lane.
+                let n_bridges = n.div_ceil(PCIE_DEVICES_PER_BRIDGE);
+                let bridge_base = links.len();
+                for b in 0..n_bridges {
+                    links.push(Link::new(
+                        format!("pcie.bridge{b}"),
+                        cost.pcie_gbps,
+                        bridge_hop,
+                    ));
+                }
+                let bridge_of = |d: usize| d / PCIE_DEVICES_PER_BRIDGE;
+                for s in 0..n {
+                    for d in 0..n {
+                        if s == d {
+                            continue;
+                        }
+                        let route = &mut dev_routes[s][d];
+                        route.push(lane_base + s);
+                        if bridge_of(s) == bridge_of(d) {
+                            // P2P through the shared switch under one bridge.
+                            route.push(bridge_base + bridge_of(s));
+                        } else {
+                            route.push(bridge_base + bridge_of(s));
+                            route.push(bridge_base + bridge_of(d));
+                        }
+                        route.push(lane_base + d);
+                    }
+                }
+            }
+            TopologyKind::TwoNode => {
+                // Node 0 holds devices [0, split); node 1 the rest. Intra-
+                // node pairs get dedicated NVLinks; cross-node flows share
+                // one NIC per node.
+                let split = n.div_ceil(2);
+                let nic_hop = us(cost.nic_latency_us);
+                let nic0 = links.len();
+                links.push(Link::new("nic0".into(), cost.nic_gbps, nic_hop));
+                let nic1 = links.len();
+                links.push(Link::new("nic1".into(), cost.nic_gbps, nic_hop));
+                let node_of = |d: usize| usize::from(d >= split);
+                for s in 0..n {
+                    for d in 0..n {
+                        if s == d {
+                            continue;
+                        }
+                        if node_of(s) == node_of(d) {
+                            let idx = links.len();
+                            links.push(Link::new(
+                                format!("nvl{s}>{d}"),
+                                cost.nvlink_gbps,
+                                SimDur::ZERO,
+                            ));
+                            dev_routes[s][d].push(idx);
+                        } else {
+                            let (a, b) = if node_of(s) == 0 {
+                                (nic0, nic1)
+                            } else {
+                                (nic1, nic0)
+                            };
+                            dev_routes[s][d].push(a);
+                            dev_routes[s][d].push(b);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut topo = Topology {
+            kind,
+            n_devices: n,
+            links,
+            dev_routes,
+            host_routes,
+            ring: Vec::new(),
+        };
+        topo.ring = topo.derive_ring();
+        Arc::new(topo)
+    }
+
+    /// Greedy nearest-neighbor ring embedding: start at device 0, repeatedly
+    /// append the unvisited device with the shortest route (ties broken by
+    /// index). For every preset this yields the natural `0..n` order, but it
+    /// is *derived* from the route table, not assumed — collectives consume
+    /// this instead of hardcoded rank arithmetic.
+    fn derive_ring(&self) -> Vec<usize> {
+        let n = self.n_devices;
+        let mut order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut cur = 0usize;
+        visited[0] = true;
+        order.push(0);
+        for _ in 1..n {
+            let next = (0..n)
+                .filter(|&d| !visited[d])
+                .min_by_key(|&d| (self.dev_routes[cur][d].len(), d))
+                .expect("unvisited device exists");
+            visited[next] = true;
+            order.push(next);
+            cur = next;
+        }
+        order
+    }
+
+    /// Which preset this graph was built from.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of devices in the graph.
+    pub fn n_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    /// All links (for occupancy stats and diagnostics).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The ring embedding: a permutation of `0..n` in which consecutive
+    /// entries are route-nearest neighbors. Ring collectives send to
+    /// `order[(pos + 1) % n]`.
+    pub fn ring_order(&self) -> &[usize] {
+        &self.ring
+    }
+
+    /// Position of `pe` in [`Topology::ring_order`].
+    pub fn ring_position(&self, pe: usize) -> usize {
+        self.ring
+            .iter()
+            .position(|&p| p == pe)
+            .expect("pe in ring order")
+    }
+
+    /// Number of links a `src -> dst` device transfer crosses.
+    pub fn route_hops(&self, src: usize, dst: usize) -> usize {
+        self.dev_routes[src][dst].len()
+    }
+
+    /// PEs ordered by route distance from `root` (root first, ties by
+    /// index): the order in which a topology-aware broadcast fans out.
+    pub fn bcast_order(&self, root: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.n_devices).collect();
+        order.sort_by_key(|&d| {
+            if d == root {
+                (0, d)
+            } else {
+                (1 + self.dev_routes[root][d].len(), d)
+            }
+        });
+        order
+    }
+
+    fn route(&self, src: Endpoint, dst: Endpoint) -> &[usize] {
+        match (src, dst) {
+            (Endpoint::Dev(s), Endpoint::Dev(d)) if s != d => &self.dev_routes[s.0][d.0],
+            (Endpoint::Host, Endpoint::Dev(d)) | (Endpoint::Dev(d), Endpoint::Host) => {
+                &self.host_routes[d.0]
+            }
+            _ => &[],
+        }
+    }
+}
+
+/// The single charging API for all inter-endpoint transfers.
+///
+/// Combines the [`Topology`] (routes, queueing) with the [`CostModel`]
+/// (fixed software latencies). Cheap to clone: the graph is shared.
+#[derive(Debug, Clone)]
+pub struct Transport {
+    topo: Arc<Topology>,
+    cost: CostModel,
+}
+
+impl Transport {
+    /// Pair a topology with its cost calibration.
+    pub fn new(topo: Arc<Topology>, cost: CostModel) -> Transport {
+        Transport { topo, cost }
+    }
+
+    /// The underlying graph.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The cost calibration (fixed latencies, compute roofline).
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Wire time of moving `bytes` from `src` to `dst` starting at `now`,
+    /// reserving every link on the route and queueing behind earlier
+    /// traffic on shared hops.
+    ///
+    /// Cut-through model: the message head advances to hop *k+1* after
+    /// paying that link's forwarding latency and waiting for it to drain;
+    /// each link is occupied for its own serialization time. Fixed per-op
+    /// latencies (put/MPI/DMA issue costs) are *not* included — the typed
+    /// wrappers below layer those on top.
+    pub fn charge(&self, src: Endpoint, dst: Endpoint, bytes: u64, now: SimTime) -> SimDur {
+        self.charge_scaled(src, dst, bytes, now, 1.0, 1.0)
+    }
+
+    /// [`Transport::charge`] with a bandwidth multiplier (`bw_scale`, e.g.
+    /// block-cooperative puts) and a fault slowdown (`inv_bw`, stretches
+    /// each hop's serialization time).
+    pub fn charge_scaled(
+        &self,
+        src: Endpoint,
+        dst: Endpoint,
+        bytes: u64,
+        now: SimTime,
+        bw_scale: f64,
+        inv_bw: f64,
+    ) -> SimDur {
+        let route = self.topo.route(src, dst);
+        let mut head = now;
+        let mut finish = now;
+        for (i, &idx) in route.iter().enumerate() {
+            let link = &self.topo.links[idx];
+            if i > 0 {
+                head += link.hop_latency;
+            }
+            let wire = CostModel::bw_time(bytes, link.gbps * bw_scale) * inv_bw;
+            let r = link.res.reserve(head, wire);
+            head = r.start;
+            finish = r.end;
+        }
+        finish.since(now)
+    }
+
+    /// Dispatch a `memcpyAsync` between two places: label + duration.
+    pub fn memcpy(
+        &self,
+        src: Place,
+        dst: Place,
+        bytes: u64,
+        now: SimTime,
+    ) -> (SimDur, &'static str) {
+        let (s, d) = (Endpoint::from(src), Endpoint::from(dst));
+        match (s, d) {
+            (Endpoint::Host, _) | (_, Endpoint::Host) => (
+                us(self.cost.pcie_latency_us) + self.charge(s, d, bytes, now),
+                "memcpy pcie",
+            ),
+            (Endpoint::Dev(a), Endpoint::Dev(b)) if a == b => {
+                (self.cost.local_copy(bytes), "memcpy local")
+            }
+            _ => (
+                us(self.cost.p2p_latency_us) + self.charge(s, d, bytes, now),
+                "memcpy p2p",
+            ),
+        }
+    }
+
+    /// Host-initiated peer-to-peer DMA between two devices.
+    pub fn p2p(&self, src: DevId, dst: DevId, bytes: u64, now: SimTime) -> SimDur {
+        if src == dst {
+            return self.cost.local_copy(bytes);
+        }
+        us(self.cost.p2p_latency_us) + self.charge(src.into(), dst.into(), bytes, now)
+    }
+
+    /// Host <-> device staging copy (checkpoints, pinned-buffer staging).
+    pub fn host_copy(&self, dev: DevId, bytes: u64, now: SimTime) -> SimDur {
+        us(self.cost.pcie_latency_us) + self.charge(Endpoint::Host, dev.into(), bytes, now)
+    }
+
+    /// Device-initiated contiguous put of `bytes` from PE `src` to PE `dst`.
+    pub fn shmem_put(&self, src: usize, dst: usize, bytes: u64, now: SimTime) -> SimDur {
+        us(self.cost.shmem_put_us) + self.dev_charge(src, dst, bytes, now, 1.0, 1.0)
+    }
+
+    /// Block-cooperative contiguous put (`nvshmemx_putmem_block`).
+    pub fn shmem_put_block(&self, src: usize, dst: usize, bytes: u64, now: SimTime) -> SimDur {
+        us(self.cost.shmem_put_us)
+            + self.dev_charge(src, dst, bytes, now, self.cost.shmem_block_bw_scale, 1.0)
+    }
+
+    /// Mapped single-element puts: `count` `nvshmem_<T>_p` calls issued by
+    /// up to `threads` GPU threads in parallel.
+    pub fn shmem_p_mapped(
+        &self,
+        src: usize,
+        dst: usize,
+        count: u64,
+        threads: u64,
+        now: SimTime,
+    ) -> SimDur {
+        let waves = count.div_ceil(threads.max(1)).max(1);
+        us(self.cost.shmem_p_us) * waves + self.dev_charge(src, dst, count * 8, now, 1.0, 1.0)
+    }
+
+    /// Strided `iput`/`iget` of `elems` elements of `elem_bytes` each.
+    pub fn shmem_iput(
+        &self,
+        src: usize,
+        dst: usize,
+        elems: u64,
+        elem_bytes: u64,
+        now: SimTime,
+    ) -> SimDur {
+        us(self.cost.shmem_put_us)
+            + us(self.cost.shmem_iput_elem_us) * elems
+            + self.dev_charge(src, dst, elems * elem_bytes, now, 1.0, 1.0)
+    }
+
+    /// Single-element `nvshmem_<T>_p` remote store. Carries no measurable
+    /// payload, but still rides the route: it queues behind bulk transfers
+    /// in flight on the same links.
+    pub fn shmem_p(&self, src: usize, dst: usize, now: SimTime) -> SimDur {
+        us(self.cost.shmem_p_us) + self.dev_charge(src, dst, 0, now, 1.0, 1.0)
+    }
+
+    /// Device-initiated signal (or the signal half of put-with-signal),
+    /// ordered behind route traffic like [`Transport::shmem_p`].
+    pub fn shmem_signal(&self, src: usize, dst: usize, now: SimTime) -> SimDur {
+        us(self.cost.shmem_signal_us) + self.dev_charge(src, dst, 0, now, 1.0, 1.0)
+    }
+
+    /// Host-path MPI message time for `bytes` between two PEs' devices.
+    pub fn mpi_msg(&self, src: usize, dst: usize, bytes: u64, now: SimTime) -> SimDur {
+        us(self.cost.mpi_msg_us) + self.dev_charge(src, dst, bytes, now, 1.0, 1.0)
+    }
+
+    /// Delivery cost of a put-with-signal from PE `src` to PE `dst` — the
+    /// ONE place fault link degradation (`FaultState::link_mult`) is
+    /// applied. `block` selects the block-cooperative bandwidth scale.
+    ///
+    /// An active link fault stretches the put issue latency and every
+    /// hop's serialization time by the bandwidth multiplier (degraded links
+    /// stay occupied longer, so contention compounds, as it should) and the
+    /// signal by the latency multiplier.
+    pub fn put_signal_delivery(
+        &self,
+        faults: &FaultState,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        now: SimTime,
+        block: bool,
+    ) -> SimDur {
+        let (lat_mult, inv_bw) = if faults.is_active() {
+            faults.link_mult(src, dst, now)
+        } else {
+            (1.0, 1.0)
+        };
+        let bw_scale = if block {
+            self.cost.shmem_block_bw_scale
+        } else {
+            1.0
+        };
+        us(self.cost.shmem_put_us) * inv_bw
+            + self.dev_charge(src, dst, bytes, now, bw_scale, inv_bw)
+            + us(self.cost.shmem_signal_us) * lat_mult
+    }
+
+    fn dev_charge(
+        &self,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        now: SimTime,
+        bw_scale: f64,
+        inv_bw: f64,
+    ) -> SimDur {
+        self.charge_scaled(
+            Endpoint::Dev(DevId(src)),
+            Endpoint::Dev(DevId(dst)),
+            bytes,
+            now,
+            bw_scale,
+            inv_bw,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transport(kind: TopologyKind, n: usize) -> Transport {
+        let cost = CostModel::a100_hgx();
+        Transport::new(Topology::build(kind, n, &cost), cost)
+    }
+
+    #[test]
+    fn all_to_all_uncontended_matches_flat_model() {
+        let c = CostModel::a100_hgx();
+        let now = SimTime(12345);
+        for bytes in [0u64, 8, 4096, 1 << 20] {
+            // Fresh graph per size: charges reserve the links, so repeats on
+            // one pair at the same instant would (correctly) queue.
+            let t = transport(TopologyKind::NvlinkAllToAll, 8);
+            assert_eq!(t.shmem_put(0, 5, bytes, now), c.shmem_put(bytes));
+            assert_eq!(
+                t.shmem_put_block(1, 2, bytes, now),
+                c.shmem_put_block(bytes)
+            );
+            assert_eq!(t.p2p(DevId(3), DevId(4), bytes, now), c.p2p_copy(bytes));
+            assert_eq!(t.host_copy(DevId(6), bytes, now), c.pcie_copy(bytes));
+        }
+        let t = transport(TopologyKind::NvlinkAllToAll, 8);
+        assert_eq!(t.shmem_iput(0, 1, 1024, 8, now), c.shmem_iput(1024, 8));
+        assert_eq!(
+            t.shmem_p_mapped(2, 3, 256, 1024, now),
+            c.shmem_p_mapped(256, 1024)
+        );
+    }
+
+    fn p2p_usize(t: &Transport, s: usize, d: usize, bytes: u64, now: SimTime) -> SimDur {
+        t.p2p(DevId(s), DevId(d), bytes, now)
+    }
+
+    #[test]
+    fn all_to_all_distinct_pairs_do_not_contend() {
+        let t = transport(TopologyKind::NvlinkAllToAll, 8);
+        let now = SimTime(0);
+        let solo = t.shmem_put(0, 1, 1 << 22, now);
+        // Other pairs — including the reverse direction — firing at the
+        // same instant see no queueing: every ordered pair has its own link.
+        t.shmem_put(2, 3, 1 << 22, now);
+        t.shmem_put(4, 5, 1 << 22, now);
+        assert_eq!(t.shmem_put(1, 0, 1 << 22, now), solo);
+    }
+
+    #[test]
+    fn same_pair_overlap_queues() {
+        let t = transport(TopologyKind::NvlinkAllToAll, 4);
+        let now = SimTime(0);
+        let first = t.shmem_put(0, 1, 1 << 22, now);
+        let second = t.shmem_put(0, 1, 1 << 22, now);
+        // The second transfer waits for the first to drain the link.
+        let c = CostModel::a100_hgx();
+        let wire = c.shmem_put(1 << 22) - c.shmem_put(0);
+        assert_eq!(second, first + wire);
+    }
+
+    #[test]
+    fn pcie_tree_shares_bridge_uplinks() {
+        let t = transport(TopologyKind::PcieTree, 8);
+        let now = SimTime(0);
+        // Cross-bridge pairs (0->4) and (1->5) share both bridge uplinks.
+        let solo = p2p_usize(&t, 0, 4, 1 << 22, now);
+        let contended = p2p_usize(&t, 1, 5, 1 << 22, now);
+        assert!(
+            contended > solo,
+            "second cross-bridge flow must queue: {contended} vs {solo}"
+        );
+    }
+
+    #[test]
+    fn pcie_same_bridge_pairs_contend_on_switch() {
+        let t = transport(TopologyKind::PcieTree, 8);
+        let now = SimTime(0);
+        // Same-bridge disjoint pairs share only the local bridge switch.
+        let a = p2p_usize(&t, 0, 1, 1 << 22, now);
+        let b = p2p_usize(&t, 2, 3, 1 << 22, now);
+        assert!(b > a, "bridge switch is a shared hop under one bridge");
+    }
+
+    #[test]
+    fn ring_distant_pairs_cost_more_than_neighbors() {
+        let t = transport(TopologyKind::NvlinkRing, 8);
+        let near = t.shmem_put(0, 1, 1 << 20, SimTime(0));
+        let far = t.shmem_put(2, 6, 1 << 20, SimTime(0));
+        assert!(far > near, "multi-hop ring route must cost more");
+        assert_eq!(t.topology().route_hops(2, 6), 4);
+        assert_eq!(t.topology().route_hops(0, 7), 1, "wraparound is one hop");
+    }
+
+    #[test]
+    fn two_node_cross_traffic_funnels_through_nics() {
+        let t = transport(TopologyKind::TwoNode, 8);
+        let now = SimTime(0);
+        let intra = t.shmem_put(0, 1, 1 << 20, now);
+        let cross = t.shmem_put(0, 4, 1 << 20, now);
+        assert!(cross > intra * 2, "NIC path is slower than NVLink");
+        let again = t.shmem_put(1, 5, 1 << 20, now);
+        assert!(again > cross, "all cross-node flows share the NICs");
+    }
+
+    #[test]
+    fn ring_order_is_natural_for_all_presets() {
+        for kind in TopologyKind::ALL {
+            for n in [1usize, 2, 4, 8] {
+                let cost = CostModel::a100_hgx();
+                let topo = Topology::build(kind, n, &cost);
+                assert_eq!(
+                    topo.ring_order(),
+                    (0..n).collect::<Vec<_>>().as_slice(),
+                    "{kind:?} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_order_puts_near_devices_first() {
+        let cost = CostModel::a100_hgx();
+        let topo = Topology::build(TopologyKind::TwoNode, 8, &cost);
+        let order = topo.bcast_order(0);
+        assert_eq!(order[0], 0);
+        let cross_pos = order.iter().position(|&d| d == 4).unwrap();
+        for intra in 1..4 {
+            let p = order.iter().position(|&d| d == intra).unwrap();
+            assert!(p < cross_pos, "intra-node device {intra} before cross-node");
+        }
+    }
+
+    #[test]
+    fn all_routes_exist_and_signal_rides_route() {
+        for kind in TopologyKind::ALL {
+            let t = transport(kind, 8);
+            for s in 0..8 {
+                for d in 0..8 {
+                    if s != d {
+                        assert!(t.topology().route_hops(s, d) >= 1, "{kind:?} {s}->{d}");
+                    }
+                }
+            }
+            // A zero-byte signal behind a bulk put on the same route queues.
+            let now = SimTime(0);
+            let put = t.shmem_put(0, 1, 1 << 22, now);
+            let sig = t.shmem_signal(0, 1, now);
+            let c = CostModel::a100_hgx();
+            let wire_nvl = c.shmem_put(1 << 22) - c.shmem_put(0);
+            assert!(
+                sig >= wire_nvl,
+                "{kind:?}: signal must not overtake the put ({sig} vs {put})"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_delivery_matches_flat_formula_uncontended() {
+        let t = transport(TopologyKind::NvlinkAllToAll, 4);
+        let c = CostModel::a100_hgx();
+        let healthy = FaultState::none();
+        let bytes = 1 << 20;
+        let dur = t.put_signal_delivery(&healthy, 0, 1, bytes, SimTime(0), false);
+        assert_eq!(dur, c.shmem_put(bytes) + c.shmem_signal());
+        let dur_b = t.put_signal_delivery(&healthy, 2, 3, bytes, SimTime(0), true);
+        assert_eq!(dur_b, c.shmem_put_block(bytes) + c.shmem_signal());
+    }
+}

@@ -7,6 +7,13 @@
 //! Floating-point combination order is fixed by PE index (lower PE's value
 //! is always the left operand), so every PE computes the *bitwise
 //! identical* result — and so can a reference implementation.
+//!
+//! Neighbor selection is **topology-derived**: the ring walks the
+//! machine's [`gpu_sim::Topology::ring_order`] embedding (route-nearest
+//! neighbors) and the broadcast fans out in
+//! [`gpu_sim::Topology::bcast_order`] (closest PEs first), instead of
+//! hardcoded rank arithmetic. Numerical results do not depend on the
+//! topology — only the virtual time does.
 
 use crate::{ShmemCtx, ShmemWorld, SymArray, SymSignal};
 use gpu_sim::KernelCtx;
@@ -123,22 +130,33 @@ pub fn allreduce_scalar(
     }
     ws.seq += 1;
     let me = sh.my_pe();
-    let scratch = ctx.machine().alloc(ctx.device(), "allreduce.src", 1);
+    let topo = std::sync::Arc::clone(sh.world().topology());
+    let order = topo.ring_order();
+    let pos = topo.ring_position(me);
+    // One scratch cell per round: an nbi put reads its source at delivery
+    // time, so a cell must stay untouched while its put is in flight
+    // (NVSHMEM's source-buffer reuse rule). Reuse across *calls* is safe:
+    // the ack handshake orders it behind the consumption of the delivery.
+    let scratch = ctx
+        .machine()
+        .alloc(ctx.device(), "allreduce.src", ws.rounds);
     let mut acc = value;
     if n.is_power_of_two() {
-        // Recursive doubling: at round k exchange with pe ^ 2^k.
+        // Recursive doubling over ring *positions*: at round k exchange
+        // with the PE whose position is pos ^ 2^k (identity ranks on every
+        // preset, but derived from the topology's embedding).
         for k in 0..ws.rounds {
-            let partner = me ^ (1 << k);
+            let partner = order[pos ^ (1 << k)];
             // Flow control: the partner must have consumed my previous
             // epoch's value in this slot before I overwrite it.
             sh.signal_wait_until(ctx, &ws.acks[k], Cmp::Ge, ws.seq - 1);
-            scratch.set(0, acc);
+            scratch.set(k, acc);
             sh.putmem_signal_nbi(
                 ctx,
                 &ws.slots,
                 k,
                 &scratch,
-                0,
+                k,
                 1,
                 &ws.sigs[k],
                 SignalOp::Set,
@@ -165,8 +183,8 @@ pub fn allreduce_scalar(
         // around the ring; each PE accumulates in global PE order.
         let mut values = vec![0.0f64; n];
         values[me] = value;
-        let right = (me + 1) % n;
-        let left = (me + n - 1) % n;
+        let right = order[(pos + 1) % n];
+        let left = order[(pos + n - 1) % n];
         let mut forwarding = value;
         for r in 0..n - 1 {
             let slot = r.min(ws.rounds - 1);
@@ -174,13 +192,13 @@ pub fn allreduce_scalar(
             // previous write to this slot (ring has no inherent
             // backpressure toward the writer).
             sh.signal_wait_until(ctx, &ws.acks[slot], Cmp::Ge, ws.seq - 1);
-            scratch.set(0, forwarding);
+            scratch.set(slot, forwarding);
             sh.putmem_signal_nbi(
                 ctx,
                 &ws.slots,
                 slot,
                 &scratch,
-                0,
+                slot,
                 1,
                 &ws.sigs[slot],
                 SignalOp::Set,
@@ -191,11 +209,14 @@ pub fn allreduce_scalar(
             let got = ws.slots.local(me).get(slot);
             // Acknowledge to my LEFT neighbor (the slot's writer).
             sh.signal_op(ctx, &ws.acks[slot], SignalOp::Set, ws.seq, left);
-            // The value received at round r originated at (me - r - 1) mod n.
-            let origin = (me + n - r - 1) % n;
+            // The value received at round r originated r+1 ring positions
+            // to my left.
+            let origin = order[(pos + n - r - 1) % n];
             values[origin] = got;
             forwarding = got;
         }
+        // Combination stays in global PE-index order regardless of the
+        // ring embedding, so results are topology-invariant.
         let mut acc = values[0];
         for v in &values[1..] {
             acc = op.combine(acc, *v);
@@ -236,7 +257,13 @@ pub fn allreduce_scalar_ft(
     }
     ws.seq += 1;
     let me = sh.my_pe();
-    let scratch = ctx.machine().alloc(ctx.device(), "allreduce.src", 1);
+    let topo = std::sync::Arc::clone(sh.world().topology());
+    let order = topo.ring_order();
+    let pos = topo.ring_position(me);
+    // Per-round scratch cells — see `allreduce_scalar` for why.
+    let scratch = ctx
+        .machine()
+        .alloc(ctx.device(), "allreduce.src", ws.rounds);
     // Interruptible wait on one of the workspace signals.
     macro_rules! wait {
         ($sig:expr, $val:expr) => {
@@ -257,15 +284,15 @@ pub fn allreduce_scalar_ft(
     if n.is_power_of_two() {
         let mut acc = value;
         for k in 0..ws.rounds {
-            let partner = me ^ (1 << k);
+            let partner = order[pos ^ (1 << k)];
             wait!(&ws.acks[k], ws.seq - 1);
-            scratch.set(0, acc);
+            scratch.set(k, acc);
             *retries += (sh.putmem_signal_reliable(
                 ctx,
                 &ws.slots,
                 k,
                 &scratch,
-                0,
+                k,
                 1,
                 &ws.sigs[k],
                 SignalOp::Set,
@@ -285,19 +312,19 @@ pub fn allreduce_scalar_ft(
     } else {
         let mut values = vec![0.0f64; n];
         values[me] = value;
-        let right = (me + 1) % n;
-        let left = (me + n - 1) % n;
+        let right = order[(pos + 1) % n];
+        let left = order[(pos + n - 1) % n];
         let mut forwarding = value;
         for r in 0..n - 1 {
             let slot = r.min(ws.rounds - 1);
             wait!(&ws.acks[slot], ws.seq - 1);
-            scratch.set(0, forwarding);
+            scratch.set(slot, forwarding);
             *retries += (sh.putmem_signal_reliable(
                 ctx,
                 &ws.slots,
                 slot,
                 &scratch,
-                0,
+                slot,
                 1,
                 &ws.sigs[slot],
                 SignalOp::Set,
@@ -307,7 +334,7 @@ pub fn allreduce_scalar_ft(
             wait!(&ws.sigs[slot], ws.seq);
             let got = ws.slots.local(me).get(slot);
             sh.signal_op(ctx, &ws.acks[slot], SignalOp::Set, ws.seq, left);
-            let origin = (me + n - r - 1) % n;
+            let origin = order[(pos + n - r - 1) % n];
             values[origin] = got;
             forwarding = got;
         }
@@ -332,7 +359,10 @@ pub fn broadcast(
 ) {
     let me = sh.my_pe();
     if me == root {
-        for pe in 0..sh.n_pes() {
+        // Fan out in topology order (closest PEs first) so near neighbors
+        // are unblocked before far ones on routed topologies.
+        let order = sh.world().topology().bcast_order(root);
+        for pe in order {
             if pe == root {
                 continue;
             }
@@ -389,7 +419,16 @@ mod tests {
     use std::sync::Arc;
 
     fn run_allreduce(n: usize, values: Vec<f64>, op: ReduceOp) -> Vec<f64> {
-        let machine = Machine::new(n, CostModel::a100_hgx(), ExecMode::Full);
+        run_allreduce_on(gpu_sim::TopologyKind::NvlinkAllToAll, n, values, op)
+    }
+
+    fn run_allreduce_on(
+        kind: gpu_sim::TopologyKind,
+        n: usize,
+        values: Vec<f64>,
+        op: ReduceOp,
+    ) -> Vec<f64> {
+        let machine = Machine::with_topology(n, CostModel::a100_hgx(), kind, ExecMode::Full);
         let world = ShmemWorld::init(&machine);
         let ws = AllreduceWs::new(&world);
         let results = Arc::new(Mutex::new(vec![0.0; n]));
@@ -441,6 +480,23 @@ mod tests {
         assert!(mx.iter().all(|r| *r == 11.0));
         let mn = run_allreduce(4, vals, ReduceOp::Min);
         assert!(mn.iter().all(|r| *r == -7.0));
+    }
+
+    #[test]
+    fn allreduce_results_topology_invariant() {
+        for n in [3usize, 4, 6, 8] {
+            let vals: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) * 1.1).collect();
+            let base = run_allreduce_on(
+                gpu_sim::TopologyKind::NvlinkAllToAll,
+                n,
+                vals.clone(),
+                ReduceOp::Sum,
+            );
+            for kind in gpu_sim::TopologyKind::ALL {
+                let out = run_allreduce_on(kind, n, vals.clone(), ReduceOp::Sum);
+                assert_eq!(out, base, "n={n} kind={}", kind.name());
+            }
+        }
     }
 
     #[test]

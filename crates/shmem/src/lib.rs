@@ -21,6 +21,13 @@
 //! latency; the payload lands in the destination buffer — and the optional
 //! signal fires — at the modeled delivery time, so waiters always observe
 //! the data *after* it exists (enforced by engine event ordering).
+//!
+//! All wire time is charged through the machine's [`gpu_sim::Transport`]:
+//! a transfer occupies every link on its `(src, dst)` route, queueing
+//! behind concurrent traffic on shared hops, and fault link-degradation is
+//! applied inside that one path. Collectives derive their neighbor
+//! selection from the machine's [`gpu_sim::Topology`] rather than raw rank
+//! arithmetic.
 
 #![warn(missing_docs)]
 
@@ -30,7 +37,7 @@ pub use collectives::{
     allreduce_scalar, allreduce_scalar_ft, broadcast, reference_reduce, AllreduceWs, ReduceOp,
 };
 
-use gpu_sim::{Buf, DevId, FaultState, KernelCtx, Machine};
+use gpu_sim::{Buf, DevId, FaultState, KernelCtx, Machine, Transport};
 use sim_des::{Category, Cmp, Flag, SignalOp, SimDur, SimTime, WaitTimedOut};
 use std::sync::Arc;
 
@@ -112,6 +119,12 @@ impl ShmemWorld {
         &self.machine
     }
 
+    /// The interconnect graph collectives derive their neighbor selection
+    /// from (ring embedding, broadcast fan-out order).
+    pub fn topology(&self) -> &Arc<gpu_sim::Topology> {
+        self.machine.topology()
+    }
+
     /// Collective symmetric allocation (`nvshmem_malloc`): `len` f64
     /// elements on every PE, zero-initialized.
     pub fn malloc(&self, name: impl Into<String>, len: usize) -> SymArray {
@@ -154,6 +167,8 @@ pub struct ShmemCtx {
     outstanding_until: SimTime,
     /// The machine's fault schedule (fault-free by default).
     faults: Arc<FaultState>,
+    /// The machine's transfer-charging layer (routes + link occupancy).
+    transport: Transport,
 }
 
 impl ShmemCtx {
@@ -169,6 +184,7 @@ impl ShmemCtx {
             pe,
             outstanding_until: SimTime::ZERO,
             faults: world.machine().faults(),
+            transport: world.machine().transport().clone(),
         }
     }
 
@@ -180,6 +196,11 @@ impl ShmemCtx {
     /// Number of PEs (`nvshmem_n_pes`).
     pub fn n_pes(&self) -> usize {
         self.world.n_pes()
+    }
+
+    /// The world this context belongs to (topology queries, team info).
+    pub fn world(&self) -> &ShmemWorld {
+        &self.world
     }
 
     fn check_pe(&self, pe: usize) {
@@ -216,7 +237,7 @@ impl ShmemCtx {
         self.check_pe(pe);
         Self::assert_symmetric(dst, dst_off, len);
         let bytes = (len * 8) as u64;
-        let dur = ctx.cost().shmem_put(bytes);
+        let dur = self.transport.shmem_put(self.pe, pe, bytes, ctx.now());
         ctx.busy(Category::Comm, format!("putmem->pe{pe} {len}el"), dur);
         dst.local(pe).copy_from(dst_off, src, src_off, len);
     }
@@ -239,7 +260,7 @@ impl ShmemCtx {
         Self::assert_symmetric(dst, dst_off, len);
         let bytes = (len * 8) as u64;
         let issue = ctx.cost().shmem_signal(); // issue overhead ≈ one device op
-        let delivery = ctx.cost().shmem_put(bytes);
+        let delivery = self.transport.shmem_put(self.pe, pe, bytes, ctx.now());
         ctx.busy(Category::Comm, format!("putmem_nbi->pe{pe} {len}el"), issue);
         let dst_buf = dst.local(pe).clone();
         let src_buf = src.clone();
@@ -311,7 +332,9 @@ impl ShmemCtx {
             );
             return false;
         }
-        let delivery = self.faulted_delivery(ctx, pe, bytes);
+        let delivery =
+            self.transport
+                .put_signal_delivery(&self.faults, self.pe, pe, bytes, ctx.now(), false);
         ctx.busy(
             Category::Comm,
             format!("putmem_signal_nbi->pe{pe} {len}el"),
@@ -331,20 +354,6 @@ impl ShmemCtx {
             self.outstanding_until = done_at;
         }
         true
-    }
-
-    /// Delivery time for a put + trailing signal to `pe`, stretched by any
-    /// active link-degradation window: the transfer portion scales with the
-    /// inverse bandwidth multiplier, the signal portion with the latency
-    /// multiplier.
-    fn faulted_delivery(&self, ctx: &KernelCtx<'_>, pe: usize, bytes: u64) -> SimDur {
-        let put = ctx.cost().shmem_put(bytes);
-        let sig = ctx.cost().shmem_signal();
-        if !self.faults.is_active() {
-            return put + sig;
-        }
-        let (lat, inv_bw) = self.faults.link_mult(self.pe, pe, ctx.now());
-        put * inv_bw + sig * lat
     }
 
     /// Retrying put + signal for fault-tolerant protocols: on a dropped
@@ -407,12 +416,9 @@ impl ShmemCtx {
         Self::assert_symmetric(dst, dst_off, len);
         let bytes = (len * 8) as u64;
         let issue = ctx.cost().shmem_signal();
-        let delivery = if self.faults.is_active() {
-            let (lat, inv_bw) = self.faults.link_mult(self.pe, pe, ctx.now());
-            ctx.cost().shmem_put_block(bytes) * inv_bw + ctx.cost().shmem_signal() * lat
-        } else {
-            ctx.cost().shmem_put_block(bytes) + ctx.cost().shmem_signal()
-        };
+        let delivery =
+            self.transport
+                .put_signal_delivery(&self.faults, self.pe, pe, bytes, ctx.now(), true);
         ctx.busy(
             Category::Comm,
             format!("putmem_signal_block->pe{pe} {len}el"),
@@ -450,7 +456,9 @@ impl ShmemCtx {
     ) {
         self.check_pe(pe);
         Self::assert_symmetric(dst, dst_off, len);
-        let dur = ctx.cost().shmem_p_mapped(len as u64, threads);
+        let dur = self
+            .transport
+            .shmem_p_mapped(self.pe, pe, len as u64, threads, ctx.now());
         ctx.busy(Category::Comm, format!("p_mapped->pe{pe} {len}el"), dur);
         dst.local(pe).copy_from(dst_off, src, src_off, len);
     }
@@ -465,7 +473,7 @@ impl ShmemCtx {
         pe: usize,
     ) {
         self.check_pe(pe);
-        let dur = ctx.cost().shmem_signal();
+        let dur = self.transport.shmem_signal(self.pe, pe, ctx.now());
         ctx.busy(Category::Comm, format!("signal_op->pe{pe}"), dur);
         // The update lands after the NVLink signal latency.
         let flag = sig.flag(pe);
@@ -583,7 +591,9 @@ impl ShmemCtx {
             "iput dst out of range on `{}`",
             dst.name()
         );
-        let dur = ctx.cost().shmem_iput(count as u64, 8);
+        let dur = self
+            .transport
+            .shmem_iput(self.pe, pe, count as u64, 8, ctx.now());
         ctx.busy(Category::Comm, format!("iput->pe{pe} {count}el"), dur);
         dst.local(pe)
             .copy_strided_from(dst_off, dst_stride, src, src_off, src_stride, count);
@@ -614,7 +624,9 @@ impl ShmemCtx {
             "iget src out of range on `{}`",
             src.name()
         );
-        let dur = ctx.cost().shmem_iput(count as u64, 8);
+        let dur = self
+            .transport
+            .shmem_iput(pe, self.pe, count as u64, 8, ctx.now());
         ctx.busy(Category::Comm, format!("iget<-pe{pe} {count}el"), dur);
         dst.copy_strided_from(
             dst_off,
@@ -639,7 +651,7 @@ impl ShmemCtx {
         self.check_pe(pe);
         Self::assert_symmetric(dst, dst_idx, 1);
         let issue = ctx.cost().shmem_signal();
-        let delivery = ctx.cost().shmem_p();
+        let delivery = self.transport.shmem_p(self.pe, pe, ctx.now());
         ctx.busy(Category::Comm, format!("p->pe{pe}"), issue);
         let dst_buf = dst.local(pe).clone();
         let agent = ctx.agent_mut();

@@ -110,7 +110,7 @@ pub(crate) fn halo_geom(prob: &PoissonProblem) -> HaloGeom {
 /// cooperative kernel per PE performs the halo exchange, the matvec and
 /// vector updates, and the device-side allreduces. The host launches once.
 pub fn run_cpu_free(prob: &PoissonProblem, exec: ExecMode) -> CgResult {
-    let machine = Machine::new(prob.n_pes, CostModel::a100_hgx(), exec);
+    let machine = Machine::with_topology(prob.n_pes, CostModel::a100_hgx(), prob.topology, exec);
     let world = ShmemWorld::init(&machine);
     let slab = prob.slab();
     let len = (slab.max_layers() + 2) * prob.nx;
@@ -232,7 +232,7 @@ pub fn run_cpu_free(prob: &PoissonProblem, exec: ExecMode) -> CgResult {
 /// linear combine), host-driven halo exchange — the launch/sync-heavy
 /// structure persistent execution eliminates.
 pub fn run_baseline(prob: &PoissonProblem, exec: ExecMode) -> CgResult {
-    let machine = Machine::new(prob.n_pes, CostModel::a100_hgx(), exec);
+    let machine = Machine::with_topology(prob.n_pes, CostModel::a100_hgx(), prob.topology, exec);
     let slab = prob.slab();
     let len = (slab.max_layers() + 2) * prob.nx;
     // p in plain device memory; halos exchanged with host memcpys.

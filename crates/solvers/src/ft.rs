@@ -112,7 +112,7 @@ struct FtPlane {
 pub fn run_cpu_free_ft(cfg: &CgFtConfig, exec: ExecMode) -> Result<CgFtResult, SimError> {
     assert!(cfg.checkpoint_every >= 1, "checkpoint_every must be >= 1");
     let prob = &cfg.prob;
-    let machine = Machine::new(prob.n_pes, CostModel::a100_hgx(), exec);
+    let machine = Machine::with_topology(prob.n_pes, CostModel::a100_hgx(), prob.topology, exec);
     machine.set_fault_plan(cfg.plan.clone());
     let world = ShmemWorld::init(&machine);
     let slab = prob.slab();
@@ -300,7 +300,10 @@ fn pe_body(
                 rho = s.rho;
             }
             let bytes = 4 * (p.local(pe).len() * 8) as u64;
-            let dur = k.cost().pcie_copy(bytes);
+            let dur = k
+                .machine()
+                .transport()
+                .host_copy(k.device(), bytes, k.now());
             k.busy(Category::Api, "cgft.restore", dur);
             // Rewind the allreduce epoch to its fault-free value after k0
             // iterations (rho0 + two calls per iteration) and reset the
@@ -359,7 +362,10 @@ fn pe_body(
                     }
                 }
                 let bytes = 4 * (p.local(pe).len() * 8) as u64;
-                let dur = k.cost().pcie_copy(bytes);
+                let dur = k
+                    .machine()
+                    .transport()
+                    .host_copy(k.device(), bytes, k.now());
                 k.busy(Category::Api, "cgft.checkpoint", dur);
                 snap = Some(CgSnap {
                     x: st.x.to_vec(),

@@ -4,6 +4,7 @@
 //! linear host-side and the recursive-doubling device-side allreduce can be
 //! verified bitwise).
 
+use gpu_sim::TopologyKind;
 use nvshmem_sim::{reference_reduce, ReduceOp};
 use stencil_lab::Slab;
 
@@ -18,6 +19,8 @@ pub struct PoissonProblem {
     pub iterations: u64,
     /// Number of PEs (slab decomposition along rows).
     pub n_pes: usize,
+    /// Interconnect topology the machine is built with.
+    pub topology: TopologyKind,
 }
 
 /// How partial dot-products are combined across PEs.
@@ -39,7 +42,14 @@ impl PoissonProblem {
             ny,
             iterations,
             n_pes,
+            topology: TopologyKind::NvlinkAllToAll,
         }
+    }
+
+    /// Builder-style: run on a different interconnect topology.
+    pub fn with_topology(mut self, topology: TopologyKind) -> PoissonProblem {
+        self.topology = topology;
+        self
     }
 
     /// The slab decomposition of the interior rows.

@@ -1,7 +1,7 @@
 //! Experiment configuration, slab decomposition, and per-variant workload
 //! arithmetic (points, bytes, flops, fractions).
 
-use gpu_sim::{CostModel, ExecMode};
+use gpu_sim::{CostModel, ExecMode, TopologyKind};
 use sim_des::SimDur;
 
 /// Configuration of one stencil experiment.
@@ -27,6 +27,8 @@ pub struct StencilConfig {
     pub threads_per_block: u32,
     /// Cost model override (`None` = A100 HGX defaults).
     pub cost: Option<CostModel>,
+    /// Interconnect topology override (`None` = the cost model's own).
+    pub topology: Option<TopologyKind>,
 }
 
 impl StencilConfig {
@@ -42,6 +44,7 @@ impl StencilConfig {
             no_compute: false,
             threads_per_block: 1024,
             cost: None,
+            topology: None,
         }
     }
 
@@ -63,6 +66,7 @@ impl StencilConfig {
             no_compute: false,
             threads_per_block: 1024,
             cost: None,
+            topology: None,
         }
     }
 
@@ -82,6 +86,13 @@ impl StencilConfig {
     /// Builder-style: override the cost model (e.g. `CostModel::pcie_only()`).
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = Some(cost);
+        self
+    }
+
+    /// Builder-style: run on a different interconnect topology
+    /// (e.g. `TopologyKind::NvlinkRing`).
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = Some(topology);
         self
     }
 

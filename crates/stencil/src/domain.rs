@@ -37,7 +37,10 @@ impl Domain {
     /// Allocate and initialize the domain on a fresh machine with the
     /// default A100 cost model.
     pub fn new(cfg: &StencilConfig) -> Domain {
-        let cost = cfg.cost.clone().unwrap_or_else(CostModel::a100_hgx);
+        let mut cost = cfg.cost.clone().unwrap_or_else(CostModel::a100_hgx);
+        if let Some(topology) = cfg.topology {
+            cost.topology = topology;
+        }
         let machine = Machine::new(cfg.n_gpus, cost, cfg.exec);
         Domain::on_machine(cfg, machine)
     }

@@ -236,7 +236,10 @@ fn pe_body(
                 dom.gen[1].local(pe).write_slice(0, g1);
             }
             let bytes = 2 * (dom.gen[0].local(pe).len() * 8) as u64;
-            let dur = k.cost().pcie_copy(bytes);
+            let dur = k
+                .machine()
+                .transport()
+                .host_copy(k.device(), bytes, k.now());
             k.busy(Category::Api, "ft.restore", dur);
             // Reset own halo-in signals to k0: the snapshot already holds
             // the neighbors' iteration-k0 halos, and any later (stale)
@@ -278,7 +281,10 @@ fn pe_body(
                     }
                 }
                 let bytes = 2 * (dom.gen[0].local(pe).len() * 8) as u64;
-                let dur = k.cost().pcie_copy(bytes);
+                let dur = k
+                    .machine()
+                    .transport()
+                    .host_copy(k.device(), bytes, k.now());
                 k.busy(Category::Api, "ft.checkpoint", dur);
                 snap = Some((dom.gen[0].local(pe).to_vec(), dom.gen[1].local(pe).to_vec()));
                 k0 = t - 1;

@@ -58,7 +58,8 @@ pub mod prelude {
     };
     pub use gpu_sim::{
         BlockGroup, Buf, CostModel, CrashFault, DevId, DeviceSpec, DropFault, ExecMode, FaultPlan,
-        FaultState, HostCtx, KernelCtx, LinkFault, Machine, StragglerFault,
+        FaultState, HostCtx, KernelCtx, LinkFault, Machine, StragglerFault, Topology, TopologyKind,
+        Transport,
     };
     pub use nvshmem_sim::{ShmemCtx, ShmemWorld, SymArray, SymSignal};
     pub use sim_des::{ms, ns, us, Category, Cmp, Engine, Flag, SignalOp, SimDur, SimTime};

@@ -1,0 +1,68 @@
+//! Determinism: the same configuration run twice produces a bit-identical
+//! final virtual time AND a bit-identical trace span list — at the DES
+//! layer (agents contending on a shared link `Resource`) and through the
+//! full stencil stack (persistent kernels, topology-routed transfers).
+
+use sim_des::{us, Category, Engine, Resource, SimTime};
+use std::sync::Arc;
+use stencil_lab::{StencilConfig, Variant};
+
+/// Render a trace as comparable lines (every field that could differ).
+fn span_lines(trace: &sim_des::Trace) -> Vec<String> {
+    trace
+        .spans()
+        .iter()
+        .map(|s| {
+            format!(
+                "{}|{:?}|{}|{}|{}",
+                s.agent_name,
+                s.category,
+                s.start.as_nanos(),
+                s.end.as_nanos(),
+                s.label
+            )
+        })
+        .collect()
+}
+
+fn des_contention_run() -> (SimTime, Vec<String>) {
+    let engine = Engine::new();
+    let link = Arc::new(Resource::default());
+    for a in 0..4u64 {
+        let link = Arc::clone(&link);
+        engine.spawn(format!("sender{a}"), move |ctx| {
+            ctx.advance(us(a as f64));
+            for r in 0..3 {
+                let res = link.reserve(ctx.now(), us(5.0));
+                ctx.advance(res.end.since(ctx.now()));
+                ctx.record(Category::Comm, format!("xfer {a}.{r}"), res.start, res.end);
+            }
+        });
+    }
+    let end = engine.run().expect("des run failed");
+    (end, span_lines(&engine.trace()))
+}
+
+#[test]
+fn des_layer_is_deterministic() {
+    let (end1, spans1) = des_contention_run();
+    let (end2, spans2) = des_contention_run();
+    assert_eq!(end1, end2);
+    assert!(!spans1.is_empty());
+    assert_eq!(spans1, spans2);
+}
+
+#[test]
+fn stencil_stack_is_deterministic() {
+    let cfg = StencilConfig::square2d(64, 6, 4);
+    let run = || {
+        let ex = Variant::CpuFree.run(&cfg);
+        (ex.total, ex.checksum, span_lines(&ex.trace))
+    };
+    let (t1, c1, s1) = run();
+    let (t2, c2, s2) = run();
+    assert_eq!(t1, t2, "end-to-end virtual time drifted between runs");
+    assert_eq!(c1, c2, "final field checksum drifted between runs");
+    assert!(!s1.is_empty());
+    assert_eq!(s1, s2, "trace span lists differ between identical runs");
+}

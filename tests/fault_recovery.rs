@@ -19,6 +19,7 @@ fn jacobi_base() -> StencilConfig {
         no_compute: false,
         threads_per_block: 1024,
         cost: None,
+        topology: None,
     }
 }
 

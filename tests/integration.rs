@@ -48,6 +48,7 @@ fn cpu_free_scales_flat_baselines_degrade() {
             no_compute: false,
             threads_per_block: 1024,
             cost: None,
+            topology: None,
         };
         v.run(&cfg).stats.per_iter.as_nanos() as f64
     };
@@ -181,6 +182,7 @@ fn paper_scale_domains_run_in_timing_mode() {
         no_compute: false,
         threads_per_block: 1024,
         cost: None,
+        topology: None,
     };
     let out = Variant::CpuFree.run(&cfg);
     assert!(out.total.as_nanos() > 0);

@@ -209,6 +209,7 @@ fn cpu_free_exact_for_random_configs() {
             no_compute: false,
             threads_per_block: 1024,
             cost: None,
+            topology: None,
         };
         let out = Variant::CpuFree.run(&cfg);
         assert_eq!(out.max_err, Some(0.0));
@@ -235,6 +236,7 @@ fn nvshmem_baseline_exact_for_random_configs() {
             no_compute: false,
             threads_per_block: 1024,
             cost: None,
+            topology: None,
         };
         let out = Variant::BaselineNvshmem.run(&cfg);
         assert_eq!(out.max_err, Some(0.0));

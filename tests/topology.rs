@@ -1,0 +1,54 @@
+//! Topology invariance: the interconnect decides *when* data moves, never
+//! *what* arrives. Allreduce and halo-exchange numerics must be
+//! bit-identical across every topology preset; only virtual time may
+//! differ.
+
+use cpufree_solvers::{run_cpu_free, PoissonProblem};
+use gpu_sim::{ExecMode, TopologyKind};
+use stencil_lab::{StencilConfig, Variant};
+
+#[test]
+fn halo_exchange_numerics_topology_invariant() {
+    let mut results = Vec::new();
+    for kind in TopologyKind::ALL {
+        let cfg = StencilConfig::square2d(64, 8, 4).with_topology(kind);
+        let ex = Variant::CpuFree.run(&cfg);
+        results.push((kind.name(), ex.checksum, ex.max_err, ex.total));
+    }
+    let (_, checksum0, max_err0, _) = results[0];
+    for (name, checksum, max_err, _) in &results {
+        assert_eq!(*checksum, checksum0, "checksum differs on {name}");
+        assert_eq!(*max_err, max_err0, "max_err differs on {name}");
+    }
+    // The routed PCIe tree really is a different machine: its virtual time
+    // must differ from the all-to-all NVLink preset.
+    let t_nvl = results
+        .iter()
+        .find(|r| r.0 == "nvlink-all-to-all")
+        .unwrap()
+        .3;
+    let t_pcie = results.iter().find(|r| r.0 == "pcie-tree").unwrap().3;
+    assert_ne!(t_nvl, t_pcie, "pcie-tree should not match nvlink timing");
+}
+
+#[test]
+fn allreduce_numerics_topology_invariant() {
+    // 4 PEs exercises the recursive-doubling branch, 3 PEs the ring branch.
+    for n_pes in [4usize, 3] {
+        let mut results = Vec::new();
+        for kind in TopologyKind::ALL {
+            let prob = PoissonProblem::new(18, 20, 8, n_pes).with_topology(kind);
+            let r = run_cpu_free(&prob, ExecMode::Full);
+            results.push((kind.name(), r.final_rho, r.x_owned.clone()));
+        }
+        let (_, rho0, x0) = results[0].clone();
+        for (name, rho, x) in &results {
+            assert_eq!(
+                rho.to_bits(),
+                rho0.to_bits(),
+                "final rho differs on {name} with {n_pes} PEs"
+            );
+            assert_eq!(*x, x0, "solution differs on {name} with {n_pes} PEs");
+        }
+    }
+}
