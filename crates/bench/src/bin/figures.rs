@@ -348,6 +348,37 @@ fn faults() {
     println!(" overhead is virtual time vs. the fault-free fault-tolerant run)");
 }
 
+fn check() {
+    println!("== Correctness tooling — happens-before checker overhead ==");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>12} {:>9} {:>7} {:>13}",
+        "workload",
+        "hb-events",
+        "accesses",
+        "wall off",
+        "wall on",
+        "factor",
+        "clean",
+        "bit-identical"
+    );
+    for r in check_overhead() {
+        let factor = r.wall_on.as_secs_f64() / r.wall_off.as_secs_f64().max(1e-9);
+        println!(
+            "{:<28} {:>10} {:>10} {:>12} {:>12} {:>8.2}x {:>7} {:>13}",
+            r.workload,
+            r.events,
+            r.accesses,
+            format!("{:.2?}", r.wall_off),
+            format!("{:.2?}", r.wall_on),
+            factor,
+            r.clean,
+            r.bit_identical
+        );
+    }
+    println!("(the checker never charges virtual time: totals and numerics are identical;");
+    println!(" the factor is host wall clock, paid only when a run opts in)");
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--json") {
@@ -406,6 +437,10 @@ fn main() {
     }
     if want("grid2d") {
         grid2d();
+        println!();
+    }
+    if want("check") {
+        check();
         println!();
     }
 }

@@ -82,6 +82,8 @@ pub fn weak2d(base: usize, gpus: usize, iters: u64) -> StencilConfig {
         threads_per_block: 1024,
         cost: None,
         topology: None,
+        jitter: None,
+        check: false,
     }
 }
 
@@ -99,6 +101,8 @@ pub fn weak3d(nx: usize, ny: usize, base_z: usize, gpus: usize, iters: u64) -> S
         threads_per_block: 1024,
         cost: None,
         topology: None,
+        jitter: None,
+        check: false,
     }
 }
 
@@ -115,6 +119,8 @@ pub fn strong3d(nx: usize, ny: usize, nz: usize, gpus: usize, iters: u64) -> Ste
         threads_per_block: 1024,
         cost: None,
         topology: None,
+        jitter: None,
+        check: false,
     }
 }
 
@@ -752,6 +758,8 @@ pub fn fault_recovery_overhead() -> Vec<FaultRow> {
         threads_per_block: 1024,
         cost: None,
         topology: None,
+        jitter: None,
+        check: false,
     };
     let clean = run_jacobi_ft(&FtConfig::new(base.clone(), FaultPlan::new()))
         .expect("fault-free jacobi FT run failed");
@@ -795,6 +803,77 @@ pub fn fault_recovery_overhead() -> Vec<FaultRow> {
 
 fn overhead_pct(clean: SimDur, faulted: SimDur) -> f64 {
     (faulted.as_nanos() as f64 / clean.as_nanos() as f64 - 1.0) * 100.0
+}
+
+/// One row of the checker-overhead table: the same workload run with the
+/// happens-before checker off and on. The checker charges no virtual time
+/// (by construction — it only observes), so the cost is host wall clock.
+#[derive(Debug, Clone)]
+pub struct CheckRow {
+    /// Workload label.
+    pub workload: String,
+    /// Host wall clock of the unchecked run.
+    pub wall_off: std::time::Duration,
+    /// Host wall clock of the checked run.
+    pub wall_on: std::time::Duration,
+    /// Happens-before events recorded by the checked run.
+    pub events: usize,
+    /// Memory accesses race-checked.
+    pub accesses: usize,
+    /// The checked run raised no diagnostics.
+    pub clean: bool,
+    /// Virtual time and numerics are identical with the checker on.
+    pub bit_identical: bool,
+}
+
+/// Correctness-tooling overhead: rerun Jacobi and CG with
+/// [`Machine::with_checker`](gpu_sim::Machine::with_checker) enabled and
+/// compare host wall clock against the unchecked run, asserting virtual
+/// time and numerics are untouched.
+pub fn check_overhead() -> Vec<CheckRow> {
+    use std::time::Instant;
+    let mut rows = Vec::new();
+    {
+        let cfg = StencilConfig::square2d(66, 20, 4);
+        let t0 = Instant::now();
+        let off = Variant::CpuFree.run(&cfg);
+        let wall_off = t0.elapsed();
+        let t1 = Instant::now();
+        let on = Variant::CpuFree.run(&cfg.clone().with_check());
+        let wall_on = t1.elapsed();
+        let report = on.check.as_ref().expect("checker enabled");
+        rows.push(CheckRow {
+            workload: "jacobi2d 66x66 x20, 4 GPUs".into(),
+            wall_off,
+            wall_on,
+            events: report.events,
+            accesses: report.accesses,
+            clean: report.clean(),
+            bit_identical: on.total == off.total && on.checksum == off.checksum,
+        });
+    }
+    {
+        let prob = cpufree_solvers::PoissonProblem::new(34, 34, 15, 4);
+        let t0 = Instant::now();
+        let off = cpufree_solvers::run_cpu_free(&prob, ExecMode::Full);
+        let wall_off = t0.elapsed();
+        let t1 = Instant::now();
+        let on = cpufree_solvers::run_cpu_free(&prob.clone().with_check(), ExecMode::Full);
+        let wall_on = t1.elapsed();
+        let report = on.check.as_ref().expect("checker enabled");
+        rows.push(CheckRow {
+            workload: "cg 34x34 x15, 4 PEs".into(),
+            wall_off,
+            wall_on,
+            events: report.events,
+            accesses: report.accesses,
+            clean: report.clean(),
+            bit_identical: on.total == off.total
+                && on.final_rho.to_bits() == off.final_rho.to_bits()
+                && on.x_owned == off.x_owned,
+        });
+    }
+    rows
 }
 
 /// The paper's speedup formula, in percent.

@@ -266,14 +266,45 @@ impl AgentCtx {
     pub fn signal(&self, flag: Flag, op: SignalOp, value: u64) {
         let mut g = self.shared.central.lock();
         let at = g.clock;
-        g.apply_signal(flag, op, value, at);
+        let stamp =
+            g.hb.clone()
+                .map(|hb| hb.on_schedule_signal(self.id, flag, at));
+        g.apply_signal(flag, op, value, at, stamp);
     }
 
     /// Schedule a signal to apply after `delay` (e.g. a DMA completion).
+    ///
+    /// When happens-before tracking is enabled the delivery carries this
+    /// agent's clock at issue time: waiters inherit order from the issuer.
     pub fn schedule_signal(&self, flag: Flag, op: SignalOp, value: u64, delay: SimDur) {
         let mut g = self.shared.central.lock();
         let t = g.clock + delay;
-        g.push_signal(t, flag, op, value);
+        let at = g.clock;
+        let stamp =
+            g.hb.clone()
+                .map(|hb| hb.on_schedule_signal(self.id, flag, at));
+        g.push_signal(t, flag, op, value, stamp);
+    }
+
+    /// Schedule a signal whose delivery carries an explicit happens-before
+    /// stamp — the clock of an asynchronous effect obtained from
+    /// [`HbTracker::async_begin`](crate::hb::HbTracker::async_begin).
+    ///
+    /// Used by the NVSHMEM-style transports: a put-with-signal's completion
+    /// signal must carry the *put's* clock (issue clock plus the effect's
+    /// own component), so that consumers who synchronize through the signal
+    /// are ordered after the delivered data while the issuer itself is not.
+    pub fn schedule_signal_with_stamp(
+        &self,
+        flag: Flag,
+        op: SignalOp,
+        value: u64,
+        delay: SimDur,
+        stamp: crate::hb::AsyncClock,
+    ) {
+        let mut g = self.shared.central.lock();
+        let t = g.clock + delay;
+        g.push_signal(t, flag, op, value, Some(stamp));
     }
 
     /// Schedule a side-effect closure to run after `delay`.
@@ -309,7 +340,12 @@ impl AgentCtx {
     where
         F: FnOnce(&mut AgentCtx) + Send + 'static,
     {
-        spawn_agent(&self.shared, name.into(), f)
+        spawn_agent(&self.shared, name.into(), Some(self.id), f)
+    }
+
+    /// The engine's happens-before tracker, when enabled.
+    pub fn hb(&self) -> Option<std::sync::Arc<crate::hb::HbTracker>> {
+        self.shared.central.lock().hb.clone()
     }
 
     /// Record an arbitrary span (for activities whose time was charged

@@ -21,6 +21,8 @@
 //! layers above).
 
 use crate::agent::{AgentCtx, AgentId};
+use crate::fault::mix64;
+use crate::hb::{AsyncClock, HbTracker};
 use crate::lock::{Condvar, Mutex};
 use crate::sync::{Barrier, Cmp, Flag, SignalOp};
 use crate::time::{SimDur, SimTime};
@@ -174,6 +176,9 @@ enum Action {
         flag: Flag,
         op: SignalOp,
         value: u64,
+        /// Happens-before stamp the delivery carries (present only when the
+        /// HB tracker is enabled at issue time).
+        stamp: Option<AsyncClock>,
     },
     /// Run a side-effect closure (e.g. materialize DMA data at completion
     /// time). Executed on the scheduler thread, outside the engine lock; the
@@ -269,6 +274,12 @@ pub(crate) struct Central {
     pub(crate) request: Option<(AgentId, Request)>,
     pub(crate) trace: Trace,
     trace_enabled: bool,
+    /// Happens-before tracker; `None` (the default) records nothing.
+    pub(crate) hb: Option<Arc<HbTracker>>,
+    /// Seed for the wake-order perturbation; `None` keeps FIFO tie-breaks.
+    jitter: Option<u64>,
+    /// Draw counter for the jitter stream (advances per permutation step).
+    jitter_ctr: u64,
 }
 
 impl Central {
@@ -284,8 +295,23 @@ impl Central {
     }
 
     /// Schedule a future signal application (e.g. a DMA completion).
-    pub(crate) fn push_signal(&mut self, time: SimTime, flag: Flag, op: SignalOp, value: u64) {
-        self.push(time, Action::Signal { flag, op, value });
+    pub(crate) fn push_signal(
+        &mut self,
+        time: SimTime,
+        flag: Flag,
+        op: SignalOp,
+        value: u64,
+        stamp: Option<AsyncClock>,
+    ) {
+        self.push(
+            time,
+            Action::Signal {
+                flag,
+                op,
+                value,
+                stamp,
+            },
+        );
     }
 
     /// Schedule a future side-effect closure.
@@ -294,7 +320,17 @@ impl Central {
     }
 
     /// Apply a signal to a flag and make every now-satisfied waiter runnable.
-    pub(crate) fn apply_signal(&mut self, flag: Flag, op: SignalOp, value: u64, at: SimTime) {
+    pub(crate) fn apply_signal(
+        &mut self,
+        flag: Flag,
+        op: SignalOp,
+        value: u64,
+        at: SimTime,
+        stamp: Option<AsyncClock>,
+    ) {
+        if let (Some(hb), Some(s)) = (&self.hb, &stamp) {
+            hb.on_signal_deliver(flag, s, at);
+        }
         let state = &mut self.flags[flag.0];
         state.value = op.apply(state.value, value);
         let val = state.value;
@@ -307,9 +343,30 @@ impl Central {
                 true
             }
         });
+        if let Some(hb) = &self.hb {
+            for &agent in &woken {
+                hb.on_wait_satisfied(agent, flag, at);
+            }
+        }
+        self.permute_woken(&mut woken);
         for agent in woken {
             self.clear_wait(agent);
             self.push(at, Action::Resume(agent));
+        }
+    }
+
+    /// Seeded Fisher–Yates permutation of a batch of simultaneously woken
+    /// agents. The members of such a batch are mutually concurrent (all
+    /// released by the same signal application or barrier arrival), so any
+    /// relative wake order is a valid schedule — this is the perturbation
+    /// lever used by the conformance harness. A no-op unless
+    /// [`Engine::set_wake_jitter`] was called.
+    fn permute_woken(&mut self, woken: &mut [AgentId]) {
+        let Some(seed) = self.jitter else { return };
+        for i in (1..woken.len()).rev() {
+            self.jitter_ctr += 1;
+            let j = (mix64(seed ^ self.jitter_ctr) % (i as u64 + 1)) as usize;
+            woken.swap(i, j);
         }
     }
 
@@ -474,6 +531,9 @@ impl Engine {
                     request: None,
                     trace: Trace::new(),
                     trace_enabled: true,
+                    hb: None,
+                    jitter: None,
+                    jitter_ctr: 0,
                 }),
                 sched_cv: Condvar::new(),
             }),
@@ -528,7 +588,38 @@ impl Engine {
     where
         F: FnOnce(&mut AgentCtx) + Send + 'static,
     {
-        spawn_agent(&self.shared, name.into(), f)
+        spawn_agent(&self.shared, name.into(), None, f)
+    }
+
+    /// Enable happens-before tracking, creating the tracker on first call.
+    ///
+    /// Call before spawning agents so every synchronization edge is seen.
+    /// Returns the (shared) tracker for recording memory effects and
+    /// reading diagnostics. Tier-1 runs never call this, so the default
+    /// cost is a skipped `Option` check per engine operation.
+    pub fn enable_hb(&self) -> Arc<HbTracker> {
+        let mut g = self.shared.central.lock();
+        if g.hb.is_none() {
+            g.hb = Some(Arc::new(HbTracker::new()));
+        }
+        Arc::clone(g.hb.as_ref().expect("just set"))
+    }
+
+    /// The happens-before tracker, if [`Engine::enable_hb`] was called.
+    pub fn hb(&self) -> Option<Arc<HbTracker>> {
+        self.shared.central.lock().hb.clone()
+    }
+
+    /// Seed the wake-order perturbation: batches of simultaneously woken
+    /// agents (barrier releases, multi-waiter signal applications) are
+    /// permuted by a deterministic seeded shuffle instead of FIFO order.
+    ///
+    /// Every permuted order is a valid schedule of the same program, so a
+    /// correct protocol must produce bit-identical results under any seed —
+    /// the property the conformance harness asserts. Unset (the default)
+    /// keeps the historical FIFO tie-break.
+    pub fn set_wake_jitter(&self, seed: u64) {
+        self.shared.central.lock().jitter = Some(seed);
     }
 
     /// Drive the simulation until every agent has finished.
@@ -601,9 +692,14 @@ impl Engine {
             g.clock = next.time;
             match next.action {
                 Action::TimeoutFire { .. } => unreachable!("handled above"),
-                Action::Signal { flag, op, value } => {
+                Action::Signal {
+                    flag,
+                    op,
+                    value,
+                    stamp,
+                } => {
                     let at = g.clock;
-                    g.apply_signal(flag, op, value, at);
+                    g.apply_signal(flag, op, value, at, stamp);
                 }
                 Action::Call(f) => {
                     // Run outside the lock: the closure may take unrelated
@@ -636,6 +732,9 @@ impl Engine {
                         } => {
                             if cmp.eval(g.flags[flag.0].value, value) {
                                 let t = g.clock;
+                                if let Some(hb) = &g.hb {
+                                    hb.on_wait_satisfied(agent, flag, t);
+                                }
                                 g.push(t, Action::Resume(agent));
                             } else {
                                 let epoch = {
@@ -668,7 +767,11 @@ impl Engine {
                             g.barriers[b.0].waiting.push(agent);
                             if g.barriers[b.0].waiting.len() == g.barriers[b.0].parties {
                                 let t = g.clock;
-                                let woken = std::mem::take(&mut g.barriers[b.0].waiting);
+                                let mut woken = std::mem::take(&mut g.barriers[b.0].waiting);
+                                if let Some(hb) = &g.hb {
+                                    hb.on_barrier_release(&woken, b, t);
+                                }
+                                g.permute_woken(&mut woken);
                                 for w in woken {
                                     g.clear_wait(w);
                                     g.push(t, Action::Resume(w));
@@ -744,7 +847,12 @@ impl Drop for Engine {
 /// Sentinel panic payload used to unwind agents during shutdown.
 pub(crate) struct ShutdownUnwind;
 
-pub(crate) fn spawn_agent<F>(shared: &Arc<Shared>, name: String, f: F) -> AgentId
+pub(crate) fn spawn_agent<F>(
+    shared: &Arc<Shared>,
+    name: String,
+    parent: Option<AgentId>,
+    f: F,
+) -> AgentId
 where
     F: FnOnce(&mut AgentCtx) + Send + 'static,
 {
@@ -753,6 +861,9 @@ where
     {
         let mut g = shared.central.lock();
         id = AgentId(g.agents.len());
+        if let Some(hb) = &g.hb {
+            hb.on_spawn(parent, id, g.clock);
+        }
         g.agents.push(AgentSlot {
             name,
             cv: Arc::clone(&cv),

@@ -52,6 +52,12 @@ impl SplitMix64 {
     }
 }
 
+/// One SplitMix64 step — the shared seed-mixing primitive behind
+/// [`FaultPlan::from_seed`] and the engine's wake-order jitter.
+pub(crate) fn mix64(seed: u64) -> u64 {
+    SplitMix64::new(seed).next_u64()
+}
+
 /// Link degradation between an unordered pair of nodes over a time window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkFault {

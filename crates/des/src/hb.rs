@@ -1,0 +1,838 @@
+//! Happens-before tracking, vector-clock race detection, and CPU-Free
+//! protocol conformance checking.
+//!
+//! When enabled (see [`Engine::enable_hb`](crate::Engine::enable_hb)) the
+//! engine records a **structured happens-before event stream** alongside the
+//! span trace: every signal send/delivery, satisfied wait, barrier release
+//! and agent spawn becomes an [`HbEvent`] with explicit dependency edges.
+//! On top of that event stream the tracker maintains **vector clocks**:
+//!
+//! * every agent owns one clock component, ticked at each synchronization
+//!   operation and each recorded memory access;
+//! * every *asynchronous* effect (an `nbi` put in flight, a DMA completion)
+//!   owns a **fresh** component of its own ([`AsyncClock`]). The effect's
+//!   accesses are stamped with the issuer's clock *plus* that component, and
+//!   the component only enters another agent's clock when that agent
+//!   synchronizes through the effect's completion signal (or the issuer
+//!   performs a `quiet`). A source buffer rewritten before delivery is
+//!   therefore *unordered* with the in-flight read — exactly the
+//!   source-reuse race the NVSHMEM spec warns about;
+//! * flag cells and barriers carry the join of every clock that signalled
+//!   through them, so waiters inherit order from their producers.
+//!
+//! Memory effects are reported by the layers above as half-open element
+//! ranges on opaque location ids; two accesses **race** when their ranges
+//! overlap, at least one is a write, and neither happens-before the other.
+//! Conformance rules checked in addition to races:
+//!
+//! * **lost signals** — a wait that was still blocked when the simulation
+//!   ended becomes a diagnostic naming the waiter and the peer it expected
+//!   the put-with-signal from ([`HbTracker::note_unsatisfied_wait`]);
+//! * **nbi source reuse** — a race in which one endpoint is the in-flight
+//!   source read of an `nbi` put is classified [`DiagKind::NbiSourceReuse`];
+//! * **iteration divergence** — per-PE iteration counters reported at
+//!   commit points must never diverge from a neighbor's by more than 1
+//!   ([`HbTracker::record_iteration`]).
+//!
+//! The per-flag clock is a *cumulative join* over all deliveries, which is
+//! exact for the dedicated semaphore cells used by the CPU-Free protocols
+//! (one producer, monotone values) and conservative (may under-report races,
+//! never falsely reports one through a flag) for multi-writer flags.
+
+use crate::agent::AgentId;
+use crate::lock::Mutex;
+use crate::sync::{Barrier, Flag};
+use crate::time::SimTime;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Hard cap on retained diagnostics, so a badly broken run cannot grow
+/// memory without bound. The count of *detected* problems keeps increasing.
+const MAX_DIAGNOSTICS: usize = 256;
+
+/// A sparse vector clock: component id -> logical time.
+///
+/// Components are allocated dynamically — one per agent, plus one per
+/// asynchronous effect — so the clock is a small hash map rather than a
+/// fixed-width array.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    components: HashMap<u32, u64>,
+}
+
+impl VClock {
+    /// The empty clock (all components at zero).
+    pub fn new() -> VClock {
+        VClock::default()
+    }
+
+    /// Value of one component (zero when absent).
+    pub fn get(&self, comp: u32) -> u64 {
+        self.components.get(&comp).copied().unwrap_or(0)
+    }
+
+    /// Increment a component, returning its new value.
+    pub fn tick(&mut self, comp: u32) -> u64 {
+        let v = self.components.entry(comp).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// Component-wise maximum with `other`.
+    pub fn join(&mut self, other: &VClock) {
+        for (&c, &v) in &other.components {
+            let e = self.components.entry(c).or_insert(0);
+            if *e < v {
+                *e = v;
+            }
+        }
+    }
+
+    /// `true` when every component of `self` is `<=` the one in `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.components.iter().all(|(&c, &v)| v <= other.get(c))
+    }
+}
+
+/// What kind of synchronization an [`HbEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HbEventKind {
+    /// An agent spawned a child agent.
+    Spawn {
+        /// The spawned agent.
+        child: AgentId,
+    },
+    /// An agent issued a signal (immediate or scheduled) on a flag.
+    SignalSend {
+        /// The signalled flag.
+        flag: Flag,
+    },
+    /// A (possibly deferred) signal was applied to its flag.
+    SignalDeliver {
+        /// The signalled flag.
+        flag: Flag,
+    },
+    /// A blocked (or immediately satisfied) flag wait completed.
+    WaitSatisfied {
+        /// The awaited flag.
+        flag: Flag,
+    },
+    /// A barrier released this agent (one event per participant).
+    BarrierRelease {
+        /// The releasing barrier.
+        barrier: Barrier,
+    },
+    /// An asynchronous effect (nbi put / DMA) was issued; it owns the fresh
+    /// clock component `token`.
+    AsyncIssue {
+        /// The effect's clock component.
+        token: u32,
+    },
+    /// The agent absorbed `tokens` outstanding async effects (a `quiet`).
+    Absorb {
+        /// How many effects were absorbed.
+        tokens: usize,
+    },
+}
+
+/// One node of the happens-before graph.
+///
+/// Event ids increase monotonically in scheduler execution order, and every
+/// dependency edge points from a smaller id to a larger one — the stream is
+/// a topological order of the graph by construction, which the property
+/// tests verify against virtual time.
+#[derive(Debug, Clone)]
+pub struct HbEvent {
+    /// Monotone event id (position in the stream).
+    pub id: u64,
+    /// Virtual time at which the event occurred.
+    pub time: SimTime,
+    /// The agent the event belongs to (`None` for detached deliveries).
+    pub agent: Option<AgentId>,
+    /// What happened.
+    pub kind: HbEventKind,
+    /// Ids of events that happen-before this one (direct edges only).
+    pub deps: Vec<u64>,
+}
+
+/// Classification of a checker diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagKind {
+    /// Two conflicting memory accesses unordered by happens-before.
+    DataRace,
+    /// A data race in which one endpoint is the in-flight source read of an
+    /// `nbi` put — the source buffer was reused before delivery.
+    NbiSourceReuse,
+    /// A `signal_wait` that was never satisfied by a matching
+    /// put-with-signal.
+    LostSignal,
+    /// Neighboring PEs' iteration counters diverged by more than 1.
+    IterationDivergence,
+}
+
+impl fmt::Display for DiagKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiagKind::DataRace => "data race",
+            DiagKind::NbiSourceReuse => "nbi source reuse",
+            DiagKind::LostSignal => "lost signal",
+            DiagKind::IterationDivergence => "iteration divergence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One checker finding, with a human-readable message naming both endpoints.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The finding's classification.
+    pub kind: DiagKind,
+    /// Virtual time at which the finding was made.
+    pub time: SimTime,
+    /// Full description, naming both endpoints of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] at {}: {}", self.kind, self.time, self.message)
+    }
+}
+
+/// The clock stamp of an asynchronous effect: the issuer's clock at issue
+/// time plus a fresh component owned by the effect itself.
+///
+/// Obtained from [`HbTracker::async_begin`]; attach it to the effect's
+/// accesses ([`HbTracker::record_access_async`]), to its completion signal
+/// ([`AgentCtx::schedule_signal_with_stamp`](crate::AgentCtx::schedule_signal_with_stamp)),
+/// and finally return it to the issuer via [`HbTracker::absorb`] when the
+/// issuer performs a `quiet`.
+#[derive(Debug, Clone)]
+pub struct AsyncClock {
+    pub(crate) clock: VClock,
+    pub(crate) event: u64,
+    pub(crate) token: u32,
+}
+
+struct Access {
+    /// Clock component of the issuing agent / async effect.
+    owner: u32,
+    /// Owner-component value at the access.
+    stamp: u64,
+    /// Full clock of the access.
+    clock: VClock,
+    write: bool,
+    nbi_src: bool,
+    range: (usize, usize),
+    who: String,
+    label: String,
+    time: SimTime,
+}
+
+impl Access {
+    /// `self` happens-before `other` (epoch test: `other` saw our stamp).
+    fn hb(&self, other: &Access) -> bool {
+        other.clock.get(self.owner) >= self.stamp
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} {} [{}..{}) by `{}` ({}) at {}",
+            if self.nbi_src { "nbi-source" } else { "" },
+            if self.write { "write" } else { "read" },
+            self.range.0,
+            self.range.1,
+            self.who,
+            self.label,
+            self.time,
+        )
+        .trim_start()
+        .to_string()
+    }
+}
+
+#[derive(Default)]
+struct HbInner {
+    next_comp: u32,
+    agent_comp: HashMap<usize, u32>,
+    clocks: HashMap<usize, VClock>,
+    flag_clocks: HashMap<usize, VClock>,
+    /// Event ids of deliveries that contributed to each flag's clock.
+    flag_events: HashMap<usize, Vec<u64>>,
+    last_agent_event: HashMap<usize, u64>,
+    /// Spawn event id to attach to the child's first event.
+    pending_parent: HashMap<usize, u64>,
+    events: Vec<HbEvent>,
+    accesses: HashMap<u64, Vec<Access>>,
+    iters: HashMap<usize, (u64, String)>,
+    diagnostics: Vec<Diagnostic>,
+    suppressed: usize,
+    n_accesses: usize,
+}
+
+impl HbInner {
+    fn comp_of(&mut self, agent: AgentId) -> u32 {
+        if let Some(&c) = self.agent_comp.get(&agent.0) {
+            return c;
+        }
+        let c = self.next_comp;
+        self.next_comp += 1;
+        self.agent_comp.insert(agent.0, c);
+        self.clocks.entry(agent.0).or_default().tick(c);
+        c
+    }
+
+    fn event(
+        &mut self,
+        agent: Option<AgentId>,
+        time: SimTime,
+        kind: HbEventKind,
+        mut deps: Vec<u64>,
+    ) -> u64 {
+        let id = self.events.len() as u64;
+        if let Some(a) = agent {
+            if let Some(&prev) = self.last_agent_event.get(&a.0) {
+                deps.push(prev);
+            }
+            if let Some(spawn) = self.pending_parent.remove(&a.0) {
+                deps.push(spawn);
+            }
+            self.last_agent_event.insert(a.0, id);
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        self.events.push(HbEvent {
+            id,
+            time,
+            agent,
+            kind,
+            deps,
+        });
+        id
+    }
+
+    fn diagnose(&mut self, kind: DiagKind, time: SimTime, message: String) {
+        if self.diagnostics.len() >= MAX_DIAGNOSTICS {
+            self.suppressed += 1;
+            return;
+        }
+        self.diagnostics.push(Diagnostic {
+            kind,
+            time,
+            message,
+        });
+    }
+
+    fn insert_access(&mut self, loc: u64, loc_name: &str, access: Access) {
+        self.n_accesses += 1;
+        let prior = self.accesses.entry(loc).or_default();
+        let mut findings = Vec::new();
+        for a in prior.iter() {
+            let overlap = a.range.0 < access.range.1 && access.range.0 < a.range.1;
+            if !overlap || !(a.write || access.write) {
+                continue;
+            }
+            if a.hb(&access) || access.hb(a) {
+                continue;
+            }
+            let kind = if (a.nbi_src && access.write) || (access.nbi_src && a.write) {
+                DiagKind::NbiSourceReuse
+            } else {
+                DiagKind::DataRace
+            };
+            findings.push((
+                kind,
+                format!(
+                    "unordered conflicting accesses to `{}`: {} vs {}",
+                    loc_name,
+                    a.describe(),
+                    access.describe()
+                ),
+            ));
+        }
+        let t = access.time;
+        prior.push(access);
+        for (kind, msg) in findings {
+            self.diagnose(kind, t, msg);
+        }
+    }
+}
+
+/// The happens-before tracker: event stream, vector clocks, race detector
+/// and conformance rules. Created through
+/// [`Engine::enable_hb`](crate::Engine::enable_hb); all methods are cheap
+/// no-ops when the tracker is simply never instantiated.
+#[derive(Default)]
+pub struct HbTracker {
+    inner: Mutex<HbInner>,
+}
+
+impl HbTracker {
+    /// Create an empty tracker.
+    pub fn new() -> HbTracker {
+        HbTracker::default()
+    }
+
+    // ---- engine hooks -----------------------------------------------------
+
+    /// A child agent was spawned: it inherits the parent's clock.
+    pub(crate) fn on_spawn(&self, parent: Option<AgentId>, child: AgentId, time: SimTime) {
+        let mut g = self.inner.lock();
+        let child_comp = g.comp_of(child);
+        if let Some(p) = parent {
+            let pc = g.comp_of(p);
+            let mut clock = {
+                let c = g.clocks.entry(p.0).or_default();
+                c.tick(pc);
+                c.clone()
+            };
+            clock.tick(child_comp);
+            g.clocks.insert(child.0, clock);
+            let ev = g.event(Some(p), time, HbEventKind::Spawn { child }, Vec::new());
+            g.pending_parent.insert(child.0, ev);
+        }
+    }
+
+    /// An agent issued a signal on `flag`; returns the stamp the delivery
+    /// must carry (the sender's clock after a tick).
+    pub(crate) fn on_schedule_signal(
+        &self,
+        agent: AgentId,
+        flag: Flag,
+        time: SimTime,
+    ) -> AsyncClock {
+        let mut g = self.inner.lock();
+        let comp = g.comp_of(agent);
+        let clock = {
+            let c = g.clocks.entry(agent.0).or_default();
+            c.tick(comp);
+            c.clone()
+        };
+        let event = g.event(
+            Some(agent),
+            time,
+            HbEventKind::SignalSend { flag },
+            Vec::new(),
+        );
+        AsyncClock {
+            clock,
+            event,
+            token: comp,
+        }
+    }
+
+    /// A signal (with its sender/effect stamp) was applied to `flag`.
+    pub(crate) fn on_signal_deliver(&self, flag: Flag, stamp: &AsyncClock, time: SimTime) {
+        let mut g = self.inner.lock();
+        g.flag_clocks.entry(flag.0).or_default().join(&stamp.clock);
+        let ev = g.event(
+            None,
+            time,
+            HbEventKind::SignalDeliver { flag },
+            vec![stamp.event],
+        );
+        g.flag_events.entry(flag.0).or_default().push(ev);
+    }
+
+    /// An agent's wait on `flag` is satisfied: it inherits the flag's clock.
+    pub(crate) fn on_wait_satisfied(&self, agent: AgentId, flag: Flag, time: SimTime) {
+        let mut g = self.inner.lock();
+        let comp = g.comp_of(agent);
+        let fc = g.flag_clocks.get(&flag.0).cloned().unwrap_or_default();
+        {
+            let c = g.clocks.entry(agent.0).or_default();
+            c.join(&fc);
+            c.tick(comp);
+        }
+        let deps = g.flag_events.get(&flag.0).cloned().unwrap_or_default();
+        g.event(Some(agent), time, HbEventKind::WaitSatisfied { flag }, deps);
+    }
+
+    /// A barrier released all `agents`: each inherits the join of all.
+    pub(crate) fn on_barrier_release(&self, agents: &[AgentId], barrier: Barrier, time: SimTime) {
+        let mut g = self.inner.lock();
+        let mut joined = VClock::new();
+        let mut deps = Vec::new();
+        for &a in agents {
+            g.comp_of(a);
+            joined.join(g.clocks.entry(a.0).or_default());
+            if let Some(&prev) = g.last_agent_event.get(&a.0) {
+                deps.push(prev);
+            }
+        }
+        for &a in agents {
+            let comp = g.comp_of(a);
+            let c = g.clocks.entry(a.0).or_default();
+            *c = joined.clone();
+            c.tick(comp);
+            g.event(
+                Some(a),
+                time,
+                HbEventKind::BarrierRelease { barrier },
+                deps.clone(),
+            );
+        }
+    }
+
+    // ---- async effects ----------------------------------------------------
+
+    /// Begin an asynchronous effect issued by `agent`: allocates a fresh
+    /// clock component for the effect and returns its stamp.
+    pub fn async_begin(&self, agent: AgentId, time: SimTime) -> AsyncClock {
+        let mut g = self.inner.lock();
+        let comp = g.comp_of(agent);
+        let token = g.next_comp;
+        g.next_comp += 1;
+        let mut clock = {
+            let c = g.clocks.entry(agent.0).or_default();
+            c.tick(comp);
+            c.clone()
+        };
+        clock.tick(token);
+        let event = g.event(
+            Some(agent),
+            time,
+            HbEventKind::AsyncIssue { token },
+            Vec::new(),
+        );
+        AsyncClock {
+            clock,
+            event,
+            token,
+        }
+    }
+
+    /// The issuer waited for its outstanding effects (a `quiet`): join the
+    /// effects' components back into the issuer's clock.
+    pub fn absorb(&self, agent: AgentId, effects: &[AsyncClock], time: SimTime) {
+        if effects.is_empty() {
+            return;
+        }
+        let mut g = self.inner.lock();
+        let comp = g.comp_of(agent);
+        {
+            let c = g.clocks.entry(agent.0).or_default();
+            for e in effects {
+                c.join(&e.clock);
+            }
+            c.tick(comp);
+        }
+        let deps = effects.iter().map(|e| e.event).collect();
+        g.event(
+            Some(agent),
+            time,
+            HbEventKind::Absorb {
+                tokens: effects.len(),
+            },
+            deps,
+        );
+    }
+
+    // ---- memory effects ---------------------------------------------------
+
+    /// Record a synchronous access by `agent` to elements `[lo, hi)` of the
+    /// location `loc`, racing it against all conflicting prior accesses.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_access(
+        &self,
+        agent: AgentId,
+        who: &str,
+        time: SimTime,
+        loc: u64,
+        loc_name: &str,
+        lo: usize,
+        hi: usize,
+        write: bool,
+        label: &str,
+    ) {
+        let mut g = self.inner.lock();
+        let comp = g.comp_of(agent);
+        let (stamp, clock) = {
+            let c = g.clocks.entry(agent.0).or_default();
+            let s = c.tick(comp);
+            (s, c.clone())
+        };
+        g.insert_access(
+            loc,
+            loc_name,
+            Access {
+                owner: comp,
+                stamp,
+                clock,
+                write,
+                nbi_src: false,
+                range: (lo, hi),
+                who: who.to_string(),
+                label: label.to_string(),
+                time,
+            },
+        );
+    }
+
+    /// Record an access performed by an asynchronous effect (stamped with
+    /// the effect's [`AsyncClock`] rather than any agent's current clock).
+    /// `nbi_src` marks the in-flight read of an nbi put's source buffer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_access_async(
+        &self,
+        stamp: &AsyncClock,
+        who: &str,
+        time: SimTime,
+        loc: u64,
+        loc_name: &str,
+        lo: usize,
+        hi: usize,
+        write: bool,
+        nbi_src: bool,
+        label: &str,
+    ) {
+        let mut g = self.inner.lock();
+        g.insert_access(
+            loc,
+            loc_name,
+            Access {
+                owner: stamp.token,
+                stamp: stamp.clock.get(stamp.token),
+                clock: stamp.clock.clone(),
+                write,
+                nbi_src,
+                range: (lo, hi),
+                who: who.to_string(),
+                label: label.to_string(),
+                time,
+            },
+        );
+    }
+
+    // ---- conformance ------------------------------------------------------
+
+    /// Report that `pe` committed iteration `t`. Neighboring PEs (`pe ± 1`)
+    /// must never be more than one iteration apart at commit points.
+    pub fn record_iteration(&self, pe: usize, t: u64, who: &str, time: SimTime) {
+        let mut g = self.inner.lock();
+        for nb in [pe.wrapping_sub(1), pe + 1] {
+            if nb == pe {
+                continue;
+            }
+            if let Some((tn, who_n)) = g.iters.get(&nb).cloned() {
+                if t.abs_diff(tn) > 1 {
+                    g.diagnose(
+                        DiagKind::IterationDivergence,
+                        time,
+                        format!(
+                            "iteration counters diverged by {}: pe{pe} (`{who}`) at \
+                             iteration {t} vs pe{nb} (`{who_n}`) at iteration {tn}",
+                            t.abs_diff(tn)
+                        ),
+                    );
+                }
+            }
+        }
+        g.iters.insert(pe, (t, who.to_string()));
+    }
+
+    /// Report a wait that was still blocked when the simulation ended — a
+    /// lost signal. Names the waiter and, when declared, the peer it
+    /// expected the matching put-with-signal from.
+    pub fn note_unsatisfied_wait(
+        &self,
+        waiter: &str,
+        identity: Option<&str>,
+        blocked_on: &str,
+        expected_from: Option<&str>,
+        time: SimTime,
+    ) {
+        let mut g = self.inner.lock();
+        let who = match identity {
+            Some(id) => format!("`{id}` (agent `{waiter}`)"),
+            None => format!("agent `{waiter}`"),
+        };
+        let from = match expected_from {
+            Some(peer) => format!(" — expected matching put-with-signal from `{peer}`"),
+            None => String::new(),
+        };
+        g.diagnose(
+            DiagKind::LostSignal,
+            time,
+            format!("unsatisfied signal_wait: {who} still blocked on {blocked_on}{from}"),
+        );
+    }
+
+    // ---- reporting --------------------------------------------------------
+
+    /// Clone of the structured happens-before event stream.
+    pub fn events(&self) -> Vec<HbEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Clone of all diagnostics found so far.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.inner.lock().diagnostics.clone()
+    }
+
+    /// `true` when no diagnostic has been raised.
+    pub fn is_clean(&self) -> bool {
+        self.inner.lock().diagnostics.is_empty()
+    }
+
+    /// Total memory accesses recorded (race-checked pairs scale with this).
+    pub fn access_count(&self) -> usize {
+        self.inner.lock().n_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(
+        owner: u32,
+        stamp: u64,
+        clock: &[(u32, u64)],
+        write: bool,
+        range: (usize, usize),
+    ) -> Access {
+        let mut c = VClock::new();
+        for &(k, v) in clock {
+            for _ in 0..v {
+                c.tick(k);
+            }
+        }
+        Access {
+            owner,
+            stamp,
+            clock: c,
+            write,
+            nbi_src: false,
+            range,
+            who: "t".into(),
+            label: "l".into(),
+            time: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn vclock_join_and_order() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        assert!(!a.le(&b) && !b.le(&a));
+        b.join(&a);
+        assert!(a.le(&b));
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+    }
+
+    #[test]
+    fn epoch_hb_test() {
+        // b saw a's stamp -> ordered; disjoint components -> unordered.
+        let a = acc(0, 2, &[(0, 2)], true, (0, 4));
+        let b = acc(1, 1, &[(0, 2), (1, 1)], false, (2, 6));
+        assert!(a.hb(&b));
+        assert!(!b.hb(&a));
+        let c = acc(2, 1, &[(2, 1)], true, (0, 4));
+        assert!(!a.hb(&c) && !c.hb(&a));
+    }
+
+    #[test]
+    fn race_requires_overlap_and_write() {
+        let t = HbTracker::new();
+        // Two unordered reads: no race.
+        t.record_access_async(
+            &AsyncClock {
+                clock: {
+                    let mut c = VClock::new();
+                    c.tick(10);
+                    c
+                },
+                event: 0,
+                token: 10,
+            },
+            "a",
+            SimTime::ZERO,
+            1,
+            "buf",
+            0,
+            4,
+            false,
+            false,
+            "r1",
+        );
+        t.record_access_async(
+            &AsyncClock {
+                clock: {
+                    let mut c = VClock::new();
+                    c.tick(11);
+                    c
+                },
+                event: 1,
+                token: 11,
+            },
+            "b",
+            SimTime::ZERO,
+            1,
+            "buf",
+            2,
+            6,
+            false,
+            false,
+            "r2",
+        );
+        assert!(t.is_clean());
+        // An unordered overlapping write races with both reads.
+        t.record_access_async(
+            &AsyncClock {
+                clock: {
+                    let mut c = VClock::new();
+                    c.tick(12);
+                    c
+                },
+                event: 2,
+                token: 12,
+            },
+            "c",
+            SimTime::ZERO,
+            1,
+            "buf",
+            3,
+            4,
+            true,
+            false,
+            "w",
+        );
+        let d = t.diagnostics();
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.kind == DiagKind::DataRace));
+        assert!(d[0].message.contains("buf"));
+    }
+
+    #[test]
+    fn iteration_divergence_detected() {
+        let t = HbTracker::new();
+        t.record_iteration(0, 1, "pe0", SimTime::ZERO);
+        t.record_iteration(1, 2, "pe1", SimTime::ZERO);
+        assert!(t.is_clean());
+        t.record_iteration(2, 4, "pe2", SimTime::ZERO);
+        let d = t.diagnostics();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, DiagKind::IterationDivergence);
+        assert!(d[0].message.contains("pe1") && d[0].message.contains("pe2"));
+    }
+
+    #[test]
+    fn lost_signal_names_both_endpoints() {
+        let t = HbTracker::new();
+        t.note_unsatisfied_wait(
+            "host1",
+            Some("pe1"),
+            "flag #3 Ge 1",
+            Some("pe0"),
+            SimTime::ZERO,
+        );
+        let d = t.diagnostics();
+        assert_eq!(d[0].kind, DiagKind::LostSignal);
+        assert!(d[0].message.contains("pe1") && d[0].message.contains("pe0"));
+    }
+}

@@ -25,6 +25,7 @@
 mod agent;
 mod engine;
 pub mod fault;
+pub mod hb;
 pub mod lock;
 mod resource;
 mod sync;
@@ -34,6 +35,7 @@ pub mod trace;
 pub use agent::{AgentCtx, AgentId, WaitTimedOut};
 pub use engine::{BlockedInfo, Engine, SimError};
 pub use fault::{CrashFault, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault};
+pub use hb::{AsyncClock, DiagKind, Diagnostic, HbEvent, HbEventKind, HbTracker, VClock};
 pub use resource::{Reservation, Resource, ResourceStats};
 pub use sync::{Barrier, Cmp, Flag, SignalOp};
 pub use time::{ms, ns, us, SimDur, SimTime};

@@ -29,17 +29,29 @@ pub enum Category {
 }
 
 impl Category {
-    /// Short fixed-width tag for timeline rendering.
+    /// Short tag for timeline rendering: uppercase, at most 4 characters,
+    /// no padding. Renderers that need fixed-width columns pad explicitly
+    /// (e.g. `format!("{:<4}", cat.tag())`).
     pub fn tag(self) -> &'static str {
         match self {
             Category::Compute => "COMP",
             Category::Comm => "COMM",
             Category::Sync => "SYNC",
             Category::Launch => "LNCH",
-            Category::Api => "API ",
+            Category::Api => "API",
             Category::Other => "OTHR",
         }
     }
+
+    /// All categories, for exhaustive sweeps in tests and renderers.
+    pub const ALL: [Category; 6] = [
+        Category::Compute,
+        Category::Comm,
+        Category::Sync,
+        Category::Launch,
+        Category::Api,
+        Category::Other,
+    ];
 }
 
 /// One closed interval of activity attributed to an agent.
@@ -199,7 +211,7 @@ impl Trace {
                 "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\
                  \"dur\":{:.3},\"pid\":0,\"tid\":{}}}",
                 esc(&s.label),
-                s.category.tag().trim(),
+                s.category.tag(),
                 s.start.as_micros_f64(),
                 s.dur().as_micros_f64(),
                 s.agent.0
@@ -394,6 +406,18 @@ mod tests {
     #[test]
     fn chrome_json_empty_trace() {
         assert_eq!(Trace::new().to_chrome_json(), "{\"traceEvents\":[\n\n]}");
+    }
+
+    #[test]
+    fn tags_are_uniform_trimmed_uppercase() {
+        for cat in Category::ALL {
+            let tag = cat.tag();
+            assert_eq!(tag, tag.trim(), "tag {tag:?} carries padding");
+            assert_eq!(tag, tag.to_uppercase());
+            assert!((1..=4).contains(&tag.len()), "tag {tag:?} length");
+            // Padded display is what aligns timeline columns.
+            assert_eq!(format!("{:<4}", tag).len(), 4);
+        }
     }
 
     #[test]

@@ -190,6 +190,23 @@ impl<'a> KernelCtx<'a> {
         dst.copy_from(dst_off, src, src_off, len);
     }
 
+    /// Declare a read of `buf[lo..hi]` to the race detector. No-op unless
+    /// the machine's checker is enabled
+    /// ([`Machine::with_checker`](crate::Machine::with_checker)).
+    pub fn check_read(&mut self, buf: &Buf, lo: usize, hi: usize, label: &str) {
+        if let Some(chk) = self.machine.checker() {
+            chk.record(self.agent, buf, lo, hi, false, label);
+        }
+    }
+
+    /// Declare a write of `buf[lo..hi]` to the race detector. No-op unless
+    /// the machine's checker is enabled.
+    pub fn check_write(&mut self, buf: &Buf, lo: usize, hi: usize, label: &str) {
+        if let Some(chk) = self.machine.checker() {
+            chk.record(self.agent, buf, lo, hi, true, label);
+        }
+    }
+
     /// Escape hatch for higher layers (the NVSHMEM device API) that need raw
     /// agent operations (flag waits, scheduled signals/calls).
     pub fn agent_mut(&mut self) -> &mut AgentCtx {

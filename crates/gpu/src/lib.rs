@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+mod check;
 mod cost;
 mod device;
 mod host;
@@ -34,6 +35,7 @@ mod mem;
 mod stream;
 mod topo;
 
+pub use check::{CheckReport, Checker};
 pub use cost::CostModel;
 pub use device::DeviceSpec;
 pub use host::HostCtx;

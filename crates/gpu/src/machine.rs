@@ -1,5 +1,6 @@
 //! The simulated multi-GPU node: devices + engine + cost model + teardown.
 
+use crate::check::Checker;
 use crate::cost::CostModel;
 use crate::device::DeviceSpec;
 use crate::host::HostCtx;
@@ -32,6 +33,7 @@ pub(crate) struct MachineInner {
     pub(crate) ran: AtomicBool,
     pub(crate) faults: Mutex<Arc<FaultState>>,
     pub(crate) transport: Transport,
+    pub(crate) checker: Mutex<Option<Arc<Checker>>>,
 }
 
 /// A simulated multi-GPU node.
@@ -98,6 +100,7 @@ impl Machine {
                 ran: AtomicBool::new(false),
                 faults: Mutex::new(FaultState::none()),
                 transport,
+                checker: Mutex::new(None),
             }),
         }
     }
@@ -106,6 +109,44 @@ impl Machine {
     /// communication contexts are created (i.e. before [`Machine::run`]).
     pub fn set_fault_plan(&self, plan: FaultPlan) {
         *self.inner.faults.lock() = FaultState::new(plan);
+    }
+
+    /// Builder form of [`Machine::enable_checker`]:
+    /// `Machine::new(..).with_checker()`.
+    pub fn with_checker(self) -> Machine {
+        self.enable_checker();
+        self
+    }
+
+    /// Enable the happens-before race detector and protocol conformance
+    /// checker. Must be called before spawning hosts so every
+    /// synchronization edge is observed. Idempotent; returns the checker.
+    ///
+    /// Tier-1 runs never enable this — the default cost is one skipped
+    /// `Option` check per engine operation.
+    pub fn enable_checker(&self) -> Arc<Checker> {
+        let mut g = self.inner.checker.lock();
+        if let Some(c) = g.as_ref() {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Checker::new(self.inner.engine.enable_hb()));
+        *g = Some(Arc::clone(&c));
+        c
+    }
+
+    /// The checker, if enabled with [`Machine::with_checker`] /
+    /// [`Machine::enable_checker`].
+    pub fn checker(&self) -> Option<Arc<Checker>> {
+        self.inner.checker.lock().clone()
+    }
+
+    /// Seed deterministic jitter on the wake order of simultaneously-woken
+    /// agents (multi-waiter signals, barrier releases). Used by the
+    /// schedule-perturbation harness: any permutation of a wake batch is a
+    /// valid schedule, so checked runs must stay clean and numerics
+    /// bit-identical under every seed.
+    pub fn set_wake_jitter(&self, seed: u64) {
+        self.inner.engine.set_wake_jitter(seed);
     }
 
     /// The machine's shared fault state (fault-free by default).
@@ -239,7 +280,17 @@ impl Machine {
                 ctx.signal(s.doorbell, SignalOp::Add, 1);
             }
         });
-        self.inner.engine.run()
+        let res = self.inner.engine.run();
+        if let Err(err) = &res {
+            // A deadlocked/timed-out run leaves waits forever unsatisfied:
+            // surface each as a lost-signal diagnostic naming both endpoints.
+            if matches!(err, SimError::Deadlock { .. } | SimError::Timeout { .. }) {
+                if let Some(chk) = self.checker() {
+                    chk.note_blocked(&self.inner.engine.blocked_agents(), self.inner.engine.now());
+                }
+            }
+        }
+        res
     }
 
     /// The recorded trace (read after [`Machine::run`]).

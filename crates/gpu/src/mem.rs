@@ -275,6 +275,13 @@ impl Buf {
     pub fn same_alloc(&self, other: &Buf) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
+
+    /// Allocation identity as an opaque key (stable for the buffer's
+    /// lifetime; equal iff [`Buf::same_alloc`]). Used by the checker to
+    /// key race-detection locations.
+    pub fn raw_key(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
 }
 
 #[cfg(test)]

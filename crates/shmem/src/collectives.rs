@@ -150,6 +150,7 @@ pub fn allreduce_scalar(
             // Flow control: the partner must have consumed my previous
             // epoch's value in this slot before I overwrite it.
             sh.signal_wait_until(ctx, &ws.acks[k], Cmp::Ge, ws.seq - 1);
+            ctx.check_write(&scratch, k, k + 1, "allreduce scratch");
             scratch.set(k, acc);
             sh.putmem_signal_nbi(
                 ctx,
@@ -164,6 +165,7 @@ pub fn allreduce_scalar(
                 partner,
             );
             sh.signal_wait_until(ctx, &ws.sigs[k], Cmp::Ge, ws.seq);
+            ctx.check_read(ws.slots.local(me), k, k + 1, "allreduce slot");
             let theirs = ws.slots.local(me).get(k);
             // Acknowledge consumption so the partner may reuse the slot.
             sh.signal_op(ctx, &ws.acks[k], SignalOp::Set, ws.seq, partner);
@@ -192,6 +194,7 @@ pub fn allreduce_scalar(
             // previous write to this slot (ring has no inherent
             // backpressure toward the writer).
             sh.signal_wait_until(ctx, &ws.acks[slot], Cmp::Ge, ws.seq - 1);
+            ctx.check_write(&scratch, slot, slot + 1, "allreduce scratch");
             scratch.set(slot, forwarding);
             sh.putmem_signal_nbi(
                 ctx,
@@ -206,6 +209,7 @@ pub fn allreduce_scalar(
                 right,
             );
             sh.signal_wait_until(ctx, &ws.sigs[slot], Cmp::Ge, ws.seq);
+            ctx.check_read(ws.slots.local(me), slot, slot + 1, "allreduce slot");
             let got = ws.slots.local(me).get(slot);
             // Acknowledge to my LEFT neighbor (the slot's writer).
             sh.signal_op(ctx, &ws.acks[slot], SignalOp::Set, ws.seq, left);

@@ -37,8 +37,8 @@ pub use collectives::{
     allreduce_scalar, allreduce_scalar_ft, broadcast, reference_reduce, AllreduceWs, ReduceOp,
 };
 
-use gpu_sim::{Buf, DevId, FaultState, KernelCtx, Machine, Transport};
-use sim_des::{Category, Cmp, Flag, SignalOp, SimDur, SimTime, WaitTimedOut};
+use gpu_sim::{Buf, Checker, DevId, FaultState, KernelCtx, Machine, Transport};
+use sim_des::{AsyncClock, Category, Cmp, Flag, SignalOp, SimDur, SimTime, WaitTimedOut};
 use std::sync::Arc;
 
 /// A symmetric array: one same-sized buffer per PE on the symmetric heap.
@@ -169,6 +169,11 @@ pub struct ShmemCtx {
     faults: Arc<FaultState>,
     /// The machine's transfer-charging layer (routes + link occupancy).
     transport: Transport,
+    /// The machine's race/conformance checker, when enabled.
+    checker: Option<Arc<Checker>>,
+    /// Async-effect stamps of outstanding `nbi` operations, absorbed into
+    /// the agent's clock by [`ShmemCtx::quiet`].
+    outstanding: Vec<AsyncClock>,
 }
 
 impl ShmemCtx {
@@ -185,6 +190,75 @@ impl ShmemCtx {
             outstanding_until: SimTime::ZERO,
             faults: world.machine().faults(),
             transport: world.machine().transport().clone(),
+            checker: world.machine().checker(),
+            outstanding: Vec::new(),
+        }
+    }
+
+    /// The machine's checker, when enabled with `Machine::with_checker`.
+    pub fn checker(&self) -> Option<&Arc<Checker>> {
+        self.checker.as_ref()
+    }
+
+    /// Record an asynchronous put's memory effects (in-flight source read +
+    /// delivered destination write) and return the stamp to thread through
+    /// the delivery signal. `None` when the checker is disabled.
+    #[allow(clippy::too_many_arguments)]
+    fn begin_async_put(
+        &mut self,
+        ctx: &KernelCtx<'_>,
+        dst: &Buf,
+        dst_off: usize,
+        src: &Buf,
+        src_off: usize,
+        len: usize,
+        delivered_at: SimTime,
+        label: &str,
+    ) -> Option<AsyncClock> {
+        let chk = self.checker.as_ref()?;
+        let agent = ctx.agent();
+        let who = agent.name();
+        let stamp = chk.async_begin(agent);
+        chk.record_async(
+            &stamp,
+            &who,
+            agent.now(),
+            src,
+            src_off,
+            src_off + len,
+            false,
+            true,
+            label,
+        );
+        chk.record_async(
+            &stamp,
+            &who,
+            delivered_at,
+            dst,
+            dst_off,
+            dst_off + len,
+            true,
+            false,
+            label,
+        );
+        self.outstanding.push(stamp.clone());
+        Some(stamp)
+    }
+
+    /// Record a synchronous (blocking) put's effects under the agent clock.
+    fn record_sync_copy(
+        &self,
+        ctx: &KernelCtx<'_>,
+        dst: &Buf,
+        dst_range: (usize, usize),
+        src: &Buf,
+        src_range: (usize, usize),
+        label: &str,
+    ) {
+        if let Some(chk) = &self.checker {
+            let agent = ctx.agent();
+            chk.record(agent, src, src_range.0, src_range.1, false, label);
+            chk.record(agent, dst, dst_range.0, dst_range.1, true, label);
         }
     }
 
@@ -240,6 +314,14 @@ impl ShmemCtx {
         let dur = self.transport.shmem_put(self.pe, pe, bytes, ctx.now());
         ctx.busy(Category::Comm, format!("putmem->pe{pe} {len}el"), dur);
         dst.local(pe).copy_from(dst_off, src, src_off, len);
+        self.record_sync_copy(
+            ctx,
+            dst.local(pe),
+            (dst_off, dst_off + len),
+            src,
+            (src_off, src_off + len),
+            "putmem",
+        );
     }
 
     /// Non-blocking contiguous put (`nvshmem_putmem_nbi`): the calling
@@ -262,14 +344,24 @@ impl ShmemCtx {
         let issue = ctx.cost().shmem_signal(); // issue overhead ≈ one device op
         let delivery = self.transport.shmem_put(self.pe, pe, bytes, ctx.now());
         ctx.busy(Category::Comm, format!("putmem_nbi->pe{pe} {len}el"), issue);
+        let remaining = delivery.saturating_sub(issue);
+        let done_at = ctx.now() + remaining;
+        self.begin_async_put(
+            ctx,
+            dst.local(pe),
+            dst_off,
+            src,
+            src_off,
+            len,
+            done_at,
+            "putmem_nbi",
+        );
         let dst_buf = dst.local(pe).clone();
         let src_buf = src.clone();
         let agent = ctx.agent_mut();
-        let remaining = delivery.saturating_sub(issue);
         agent.schedule_call(remaining, move || {
             dst_buf.copy_from(dst_off, &src_buf, src_off, len);
         });
-        let done_at = agent.now() + remaining;
         if done_at > self.outstanding_until {
             self.outstanding_until = done_at;
         }
@@ -340,16 +432,31 @@ impl ShmemCtx {
             format!("putmem_signal_nbi->pe{pe} {len}el"),
             issue,
         );
+        let remaining = delivery.saturating_sub(issue);
+        let done_at = ctx.now() + remaining;
+        let stamp = self.begin_async_put(
+            ctx,
+            dst.local(pe),
+            dst_off,
+            src,
+            src_off,
+            len,
+            done_at,
+            "putmem_signal_nbi",
+        );
         let dst_buf = dst.local(pe).clone();
         let src_buf = src.clone();
         let flag = sig.flag(pe);
         let agent = ctx.agent_mut();
-        let remaining = delivery.saturating_sub(issue);
         agent.schedule_call(remaining, move || {
             dst_buf.copy_from(dst_off, &src_buf, src_off, len);
         });
-        agent.schedule_signal(flag, sig_op, sig_val, remaining);
-        let done_at = agent.now() + remaining;
+        match stamp {
+            // Carry the async-effect clock on the signal so the waiter
+            // happens-after the delivered payload, not just the issue.
+            Some(s) => agent.schedule_signal_with_stamp(flag, sig_op, sig_val, remaining, s),
+            None => agent.schedule_signal(flag, sig_op, sig_val, remaining),
+        }
         if done_at > self.outstanding_until {
             self.outstanding_until = done_at;
         }
@@ -424,16 +531,29 @@ impl ShmemCtx {
             format!("putmem_signal_block->pe{pe} {len}el"),
             issue,
         );
+        let remaining = delivery.saturating_sub(issue);
+        let done_at = ctx.now() + remaining;
+        let stamp = self.begin_async_put(
+            ctx,
+            dst.local(pe),
+            dst_off,
+            src,
+            src_off,
+            len,
+            done_at,
+            "putmem_signal_block",
+        );
         let dst_buf = dst.local(pe).clone();
         let src_buf = src.clone();
         let flag = sig.flag(pe);
         let agent = ctx.agent_mut();
-        let remaining = delivery.saturating_sub(issue);
         agent.schedule_call(remaining, move || {
             dst_buf.copy_from(dst_off, &src_buf, src_off, len);
         });
-        agent.schedule_signal(flag, sig_op, sig_val, remaining);
-        let done_at = agent.now() + remaining;
+        match stamp {
+            Some(s) => agent.schedule_signal_with_stamp(flag, sig_op, sig_val, remaining, s),
+            None => agent.schedule_signal(flag, sig_op, sig_val, remaining),
+        }
         if done_at > self.outstanding_until {
             self.outstanding_until = done_at;
         }
@@ -461,6 +581,14 @@ impl ShmemCtx {
             .shmem_p_mapped(self.pe, pe, len as u64, threads, ctx.now());
         ctx.busy(Category::Comm, format!("p_mapped->pe{pe} {len}el"), dur);
         dst.local(pe).copy_from(dst_off, src, src_off, len);
+        self.record_sync_copy(
+            ctx,
+            dst.local(pe),
+            (dst_off, dst_off + len),
+            src,
+            (src_off, src_off + len),
+            "p_mapped",
+        );
     }
 
     /// Remote atomic signal update (`nvshmemx_signal_op`).
@@ -597,6 +725,15 @@ impl ShmemCtx {
         ctx.busy(Category::Comm, format!("iput->pe{pe} {count}el"), dur);
         dst.local(pe)
             .copy_strided_from(dst_off, dst_stride, src, src_off, src_stride, count);
+        // Conservative footprint: the whole strided span (supersets race).
+        self.record_sync_copy(
+            ctx,
+            dst.local(pe),
+            (dst_off, dst_off + (count - 1) * dst_stride + 1),
+            src,
+            (src_off, src_off + (count - 1) * src_stride + 1),
+            "iput",
+        );
     }
 
     /// Strided get (`nvshmem_<T>_iget`): gather `count` elements from the
@@ -636,6 +773,14 @@ impl ShmemCtx {
             src_stride,
             count,
         );
+        self.record_sync_copy(
+            ctx,
+            dst,
+            (dst_off, dst_off + (count - 1) * dst_stride + 1),
+            src.local(pe),
+            (src_off, src_off + (count - 1) * src_stride + 1),
+            "iget",
+        );
     }
 
     /// Single-element remote store (`nvshmem_double_p`). Non-blocking in
@@ -653,11 +798,27 @@ impl ShmemCtx {
         let issue = ctx.cost().shmem_signal();
         let delivery = self.transport.shmem_p(self.pe, pe, ctx.now());
         ctx.busy(Category::Comm, format!("p->pe{pe}"), issue);
+        let remaining = delivery.saturating_sub(issue);
+        let done_at = ctx.now() + remaining;
+        if let Some(chk) = &self.checker {
+            let agent = ctx.agent();
+            let stamp = chk.async_begin(agent);
+            chk.record_async(
+                &stamp,
+                &agent.name(),
+                done_at,
+                dst.local(pe),
+                dst_idx,
+                dst_idx + 1,
+                true,
+                false,
+                "p",
+            );
+            self.outstanding.push(stamp);
+        }
         let dst_buf = dst.local(pe).clone();
         let agent = ctx.agent_mut();
-        let remaining = delivery.saturating_sub(issue);
         agent.schedule_call(remaining, move || dst_buf.set(dst_idx, value));
-        let done_at = agent.now() + remaining;
         if done_at > self.outstanding_until {
             self.outstanding_until = done_at;
         }
@@ -669,6 +830,12 @@ impl ShmemCtx {
         let wait = self.outstanding_until.saturating_since(now);
         let dur = wait + ctx.cost().shmem_quiet();
         ctx.busy(Category::Sync, "quiet", dur);
+        // Completion edge: the caller happens-after every outstanding
+        // effect, so reusing an nbi source buffer is now race-free.
+        if let Some(chk) = &self.checker {
+            chk.absorb(ctx.agent(), &self.outstanding);
+        }
+        self.outstanding.clear();
     }
 
     /// Order (but do not complete) outstanding operations (`nvshmem_fence`).

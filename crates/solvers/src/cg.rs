@@ -26,6 +26,8 @@ pub struct CgResult {
     pub final_rho: f64,
     /// The reduction order this run used (for reference matching).
     pub order: ReduceOrder,
+    /// Checker report (`None` unless the problem enabled `check`).
+    pub check: Option<gpu_sim::CheckReport>,
 }
 
 impl CgResult {
@@ -111,6 +113,12 @@ pub(crate) fn halo_geom(prob: &PoissonProblem) -> HaloGeom {
 /// vector updates, and the device-side allreduces. The host launches once.
 pub fn run_cpu_free(prob: &PoissonProblem, exec: ExecMode) -> CgResult {
     let machine = Machine::with_topology(prob.n_pes, CostModel::a100_hgx(), prob.topology, exec);
+    if prob.check {
+        machine.enable_checker();
+    }
+    if let Some(seed) = prob.jitter {
+        machine.set_wake_jitter(seed);
+    }
     let world = ShmemWorld::init(&machine);
     let slab = prob.slab();
     let len = (slab.max_layers() + 2) * prob.nx;
@@ -148,6 +156,7 @@ pub fn run_cpu_free(prob: &PoissonProblem, exec: ExecMode) -> CgResult {
         let hl = halo_len(&prob_c);
         vec![BlockGroup::new("cg", 108, move |k| {
             let mut sh = ShmemCtx::new(&world, k);
+            let checker = k.machine().checker();
             let (nx, layers) = (st.nx, st.layers);
             let points = (layers * nx) as u64;
             // rho0 = <r, r>.
@@ -157,6 +166,9 @@ pub fn run_cpu_free(prob: &PoissonProblem, exec: ExecMode) -> CgResult {
             });
             let mut rho = allreduce_scalar(&mut sh, k, &mut ws, partial, ReduceOp::Sum);
             for it in 1..=iters {
+                if let Some(chk) = &checker {
+                    chk.iteration(pe, it, &k.agent().name(), k.now());
+                }
                 // ① p-halo exchange (device-initiated, flag semaphore).
                 if pe > 0 {
                     sh.putmem_signal_nbi(
@@ -193,6 +205,8 @@ pub fn run_cpu_free(prob: &PoissonProblem, exec: ExecMode) -> CgResult {
                     sh.signal_wait_until(k, &sig_high, Cmp::Ge, it);
                 }
                 // ② q = A p.
+                k.check_read(p.local(pe), 0, (layers + 2) * nx, "matvec p read");
+                k.check_write(&st.q, nx, (layers + 1) * nx, "matvec q write");
                 vec_op(k, points, 16, 9, "matvec", || {
                     matvec(p.local(pe), &st.q, nx, layers);
                 });
@@ -216,6 +230,7 @@ pub fn run_cpu_free(prob: &PoissonProblem, exec: ExecMode) -> CgResult {
                 let beta = rho_new / rho;
                 rho = rho_new;
                 // ⑥ p = r + beta p.
+                k.check_write(p.local(pe), nx, (layers + 1) * nx, "update p write");
                 vec_op(k, points, 24, 2, "update p", || {
                     update_p(p.local(pe), &st.r, beta, nx, layers);
                 });
@@ -233,6 +248,12 @@ pub fn run_cpu_free(prob: &PoissonProblem, exec: ExecMode) -> CgResult {
 /// structure persistent execution eliminates.
 pub fn run_baseline(prob: &PoissonProblem, exec: ExecMode) -> CgResult {
     let machine = Machine::with_topology(prob.n_pes, CostModel::a100_hgx(), prob.topology, exec);
+    if prob.check {
+        machine.enable_checker();
+    }
+    if let Some(seed) = prob.jitter {
+        machine.set_wake_jitter(seed);
+    }
     let slab = prob.slab();
     let len = (slab.max_layers() + 2) * prob.nx;
     // p in plain device memory; halos exchanged with host memcpys.
@@ -401,5 +422,6 @@ pub(crate) fn collect(
         x_owned,
         final_rho,
         order,
+        check: machine.checker().map(|c| c.report()),
     }
 }

@@ -21,6 +21,11 @@ pub struct PoissonProblem {
     pub n_pes: usize,
     /// Interconnect topology the machine is built with.
     pub topology: TopologyKind,
+    /// Seed for deterministic wake-order jitter (schedule perturbation);
+    /// `None` = the engine's canonical order.
+    pub jitter: Option<u64>,
+    /// Enable the happens-before race detector / conformance checker.
+    pub check: bool,
 }
 
 /// How partial dot-products are combined across PEs.
@@ -43,12 +48,27 @@ impl PoissonProblem {
             iterations,
             n_pes,
             topology: TopologyKind::NvlinkAllToAll,
+            jitter: None,
+            check: false,
         }
     }
 
     /// Builder-style: run on a different interconnect topology.
     pub fn with_topology(mut self, topology: TopologyKind) -> PoissonProblem {
         self.topology = topology;
+        self
+    }
+
+    /// Builder-style: perturb the wake order of simultaneously-woken agents
+    /// with a deterministic seed (schedule-robustness testing).
+    pub fn with_jitter(mut self, seed: u64) -> PoissonProblem {
+        self.jitter = Some(seed);
+        self
+    }
+
+    /// Builder-style: enable the happens-before / conformance checker.
+    pub fn with_check(mut self) -> PoissonProblem {
+        self.check = true;
         self
     }
 

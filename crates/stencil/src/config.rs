@@ -29,6 +29,11 @@ pub struct StencilConfig {
     pub cost: Option<CostModel>,
     /// Interconnect topology override (`None` = the cost model's own).
     pub topology: Option<TopologyKind>,
+    /// Seed for deterministic wake-order jitter (schedule perturbation);
+    /// `None` = the engine's canonical order.
+    pub jitter: Option<u64>,
+    /// Enable the happens-before race detector / conformance checker.
+    pub check: bool,
 }
 
 impl StencilConfig {
@@ -45,6 +50,8 @@ impl StencilConfig {
             threads_per_block: 1024,
             cost: None,
             topology: None,
+            jitter: None,
+            check: false,
         }
     }
 
@@ -67,6 +74,8 @@ impl StencilConfig {
             threads_per_block: 1024,
             cost: None,
             topology: None,
+            jitter: None,
+            check: false,
         }
     }
 
@@ -93,6 +102,19 @@ impl StencilConfig {
     /// (e.g. `TopologyKind::NvlinkRing`).
     pub fn with_topology(mut self, topology: TopologyKind) -> Self {
         self.topology = Some(topology);
+        self
+    }
+
+    /// Builder-style: perturb the wake order of simultaneously-woken agents
+    /// with a deterministic seed (schedule-robustness testing).
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter = Some(seed);
+        self
+    }
+
+    /// Builder-style: enable the happens-before / conformance checker.
+    pub fn with_check(mut self) -> Self {
+        self.check = true;
         self
     }
 

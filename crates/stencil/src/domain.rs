@@ -48,6 +48,12 @@ impl Domain {
     /// Allocate on an existing machine (custom cost models in benches).
     pub fn on_machine(cfg: &StencilConfig, machine: Machine) -> Domain {
         cfg.validate();
+        if cfg.check {
+            machine.enable_checker();
+        }
+        if let Some(seed) = cfg.jitter {
+            machine.set_wake_jitter(seed);
+        }
         let geo = geometry_of(cfg);
         let slab = cfg.slab();
         let world = ShmemWorld::init(&machine);
@@ -189,6 +195,8 @@ pub struct Executed {
     pub checksum: u64,
     /// The full span trace (timeline rendering, custom analyses).
     pub trace: sim_des::Trace,
+    /// Checker report (`None` unless the config enabled `check`).
+    pub check: Option<gpu_sim::CheckReport>,
 }
 
 impl Executed {
@@ -210,6 +218,7 @@ impl Executed {
             max_err,
             checksum,
             trace,
+            check: dom.machine.checker().map(|c| c.report()),
         }
     }
 

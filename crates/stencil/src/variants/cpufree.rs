@@ -179,6 +179,7 @@ fn comm_group_body(
         Side::Low => 1,
         Side::High => layers,
     };
+    let checker = k.machine().checker();
     for t in 1..=dom.cfg.iterations {
         // ① Wait until the halo for this iteration's READ generation has
         // been committed by the neighbor (its put of iteration t-1).
@@ -189,10 +190,26 @@ fn comm_group_body(
             };
             sh.signal_wait_until(k, sig, Cmp::Ge, t - 1);
         }
+        // Conformance: one group per PE reports the committed iteration so
+        // the checker can bound neighbor skew (must never exceed 1).
+        if side == Side::Low {
+            if let Some(chk) = &checker {
+                chk.iteration(pe, t, &k.agent().name(), k.now());
+            }
+        }
         // ② Compute the boundary layer using the halo values.
         let geo = Arc::clone(&dom.geo);
         let read = dom.read_gen(t).local(pe).clone();
         let write = dom.write_gen(t).local(pe).clone();
+        // Race detector: the boundary sweep reads the halo-adjacent band
+        // (incl. the remotely-written halo layer) and writes its own layer.
+        k.check_read(
+            &read,
+            (my_layer - 1) * le,
+            (my_layer + 2) * le,
+            "boundary read",
+        );
+        k.check_write(&write, my_layer * le, (my_layer + 1) * le, "boundary write");
         compute_phase(
             k,
             &w,
@@ -258,10 +275,16 @@ fn inner_group_body(
 ) {
     let layers = dom.layers(pe);
     let w = dom.workload(pe);
+    let le = dom.layer_elems();
     for t in 1..=dom.cfg.iterations {
         let geo = Arc::clone(&dom.geo);
         let read = dom.read_gen(t).local(pe).clone();
         let write = dom.write_gen(t).local(pe).clone();
+        if w.inner_points() > 0 {
+            // Inner sweep: reads owned layers 1..=layers, writes 2..layers-1.
+            k.check_read(&read, le, (layers + 1) * le, "inner read");
+            k.check_write(&write, 2 * le, layers * le, "inner write");
+        }
         compute_phase(
             k,
             &w,

@@ -57,11 +57,13 @@ pub mod prelude {
         RunStats, TbAllocation, WatchdogSpec,
     };
     pub use gpu_sim::{
-        BlockGroup, Buf, CostModel, CrashFault, DevId, DeviceSpec, DropFault, ExecMode, FaultPlan,
-        FaultState, HostCtx, KernelCtx, LinkFault, Machine, StragglerFault, Topology, TopologyKind,
-        Transport,
+        BlockGroup, Buf, CheckReport, Checker, CostModel, CrashFault, DevId, DeviceSpec, DropFault,
+        ExecMode, FaultPlan, FaultState, HostCtx, KernelCtx, LinkFault, Machine, StragglerFault,
+        Topology, TopologyKind, Transport,
     };
     pub use nvshmem_sim::{ShmemCtx, ShmemWorld, SymArray, SymSignal};
-    pub use sim_des::{ms, ns, us, Category, Cmp, Engine, Flag, SignalOp, SimDur, SimTime};
+    pub use sim_des::{
+        ms, ns, us, Category, Cmp, DiagKind, Diagnostic, Engine, Flag, SignalOp, SimDur, SimTime,
+    };
     pub use stencil_lab::{FtConfig, StencilConfig, Variant};
 }

@@ -1,0 +1,249 @@
+//! Negative-path tests for the happens-before / conformance checker: each
+//! fixture breaks the CPU-Free communication protocol in a specific,
+//! historically-plausible way and asserts the checker raises a diagnostic
+//! that names both endpoints of the violation.
+
+use gpu_sim::{BlockGroup, CostModel, DevId, ExecMode, Machine};
+use nvshmem_sim::ShmemCtx;
+use sim_des::{Cmp, DiagKind, SignalOp};
+
+fn two_pe_machine() -> Machine {
+    Machine::new(2, CostModel::a100_hgx(), ExecMode::Full).with_checker()
+}
+
+/// Regression fixture for the scratch-cell race the allreduce workspace
+/// once had: both PEs exchange values through a **single** scratch cell and
+/// a **single** slot, with *no* consumption acknowledgement. A fast PE can
+/// overwrite the scratch while its previous nbi put is still reading it,
+/// and overwrite the partner's slot before the partner consumed it. The
+/// production collective closes both holes with per-round ack signals
+/// (see `AllreduceWs::acks`); this fixture reintroduces the bug and proves
+/// the checker sees it.
+#[test]
+fn detects_scratch_cell_reuse_race() {
+    let machine = two_pe_machine();
+    let world = nvshmem_sim::ShmemWorld::init(&machine);
+    let slots = world.malloc("slots", 1);
+    let sig = world.signal(0);
+    for pe in 0..2usize {
+        let world = world.clone();
+        let slots = slots.clone();
+        let sig = sig.clone();
+        machine.spawn_host(format!("rank{pe}"), move |host| {
+            let k = host.launch_cooperative(
+                DevId(pe),
+                "racy-exchange",
+                1024,
+                vec![BlockGroup::new("g", 1, move |kc| {
+                    let mut sh = ShmemCtx::new(&world, kc);
+                    let scratch = kc.machine().alloc(kc.device(), "scratch", 1);
+                    let mut acc = pe as f64 + 1.0;
+                    for round in 1..=2u64 {
+                        // BUG (on purpose): no ack wait before reusing the
+                        // scratch cell or the partner's slot.
+                        kc.check_write(&scratch, 0, 1, "scratch fill");
+                        scratch.set(0, acc);
+                        sh.putmem_signal_nbi(
+                            kc,
+                            &slots,
+                            0,
+                            &scratch,
+                            0,
+                            1,
+                            &sig,
+                            SignalOp::Set,
+                            round,
+                            1 - pe,
+                        );
+                        sh.signal_wait_until(kc, &sig, Cmp::Ge, round);
+                        kc.check_read(slots.local(pe), 0, 1, "slot read");
+                        acc += slots.local(pe).get(0);
+                    }
+                })],
+            );
+            host.wait_cooperative(&k);
+        });
+    }
+    machine.run().expect("the racy exchange still terminates");
+    let report = machine.checker().unwrap().report();
+    assert!(!report.clean(), "checker missed the reintroduced race");
+    let racy: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| matches!(d.kind, DiagKind::DataRace | DiagKind::NbiSourceReuse))
+        .collect();
+    assert!(!racy.is_empty(), "no race diagnostic: {report}");
+    for d in &racy {
+        // Both endpoints are named: "<access A> vs <access B>", each with
+        // its agent and label.
+        assert!(d.message.contains("unordered conflicting accesses"), "{d}");
+        assert_eq!(
+            d.message.matches("by `").count(),
+            2,
+            "diagnostic does not name both endpoints: {d}"
+        );
+    }
+}
+
+/// A signal_wait whose matching put-with-signal never happens must surface
+/// as a LostSignal diagnostic naming the waiter and what it waited on —
+/// not just a generic deadlock.
+#[test]
+fn detects_lost_signal() {
+    let machine = two_pe_machine();
+    let world = nvshmem_sim::ShmemWorld::init(&machine);
+    let sig = world.signal(0);
+    {
+        let world = world.clone();
+        machine.spawn_host("rank0", move |host| {
+            let k = host.launch_cooperative(
+                DevId(0),
+                "orphan-wait",
+                1024,
+                vec![BlockGroup::new("g", 1, move |kc| {
+                    let mut sh = ShmemCtx::new(&world, kc);
+                    // Nobody ever sets this signal.
+                    sh.signal_wait_until(kc, &sig, Cmp::Ge, 1);
+                })],
+            );
+            host.wait_cooperative(&k);
+        });
+    }
+    machine.spawn_host("rank1", move |_host| {
+        // This rank "forgets" its put-with-signal and exits.
+    });
+    let err = machine.run();
+    assert!(err.is_err(), "the orphaned wait must deadlock");
+    let report = machine.checker().unwrap().report();
+    let lost: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.kind == DiagKind::LostSignal)
+        .collect();
+    assert!(!lost.is_empty(), "no LostSignal diagnostic: {report}");
+    // Both endpoints: the waiting PE and the wait it is parked on.
+    assert!(
+        lost.iter()
+            .any(|d| d.message.contains("pe0") && d.message.contains("flag #")),
+        "diagnostic does not name waiter and wait: {report}"
+    );
+}
+
+/// Two PEs put into overlapping ranges of a third PE's symmetric array with
+/// no ordering between them: a write-write race on the destination.
+#[test]
+fn detects_unordered_conflicting_puts() {
+    let machine = Machine::new(3, CostModel::a100_hgx(), ExecMode::Full).with_checker();
+    let world = nvshmem_sim::ShmemWorld::init(&machine);
+    let dst = world.malloc("dst", 4);
+    for pe in 0..2usize {
+        let world = world.clone();
+        let dst = dst.clone();
+        machine.spawn_host(format!("rank{pe}"), move |host| {
+            let k = host.launch_cooperative(
+                DevId(pe),
+                "blind-put",
+                1024,
+                vec![BlockGroup::new("g", 1, move |kc| {
+                    let mut sh = ShmemCtx::new(&world, kc);
+                    let src = kc.machine().alloc(kc.device(), "src", 4);
+                    src.set(0, pe as f64);
+                    // Overlapping destination ranges: [0..4) vs [2..4).
+                    let (off, len) = if pe == 0 { (0, 4) } else { (2, 2) };
+                    sh.putmem(kc, &dst, off, &src, 0, len, 2);
+                })],
+            );
+            host.wait_cooperative(&k);
+        });
+    }
+    machine.spawn_host("rank2", move |_host| {});
+    machine.run().unwrap();
+    let report = machine.checker().unwrap().report();
+    let races: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.kind == DiagKind::DataRace)
+        .collect();
+    assert!(!races.is_empty(), "no DataRace diagnostic: {report}");
+    assert!(
+        races
+            .iter()
+            .any(|d| { d.message.contains("dst") && d.message.matches("by `").count() == 2 }),
+        "diagnostic does not name the buffer and both writers: {report}"
+    );
+}
+
+/// Reusing the source buffer of an nbi put before `quiet` is a protocol
+/// violation (the DMA may still be reading it) and must be classified as
+/// NbiSourceReuse, naming the in-flight source read.
+#[test]
+fn detects_nbi_source_reuse() {
+    let machine = two_pe_machine();
+    let world = nvshmem_sim::ShmemWorld::init(&machine);
+    let dst = world.malloc("dst", 4);
+    {
+        let world = world.clone();
+        machine.spawn_host("rank0", move |host| {
+            let k = host.launch_cooperative(
+                DevId(0),
+                "hasty-reuse",
+                1024,
+                vec![BlockGroup::new("g", 1, move |kc| {
+                    let mut sh = ShmemCtx::new(&world, kc);
+                    let src = kc.machine().alloc(kc.device(), "src", 4);
+                    sh.putmem_nbi(kc, &dst, 0, &src, 0, 4, 1);
+                    // BUG (on purpose): refill the source without quiet.
+                    kc.check_write(&src, 0, 4, "refill src");
+                })],
+            );
+            host.wait_cooperative(&k);
+        });
+    }
+    machine.spawn_host("rank1", move |_host| {});
+    machine.run().unwrap();
+    let report = machine.checker().unwrap().report();
+    let reuse: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.kind == DiagKind::NbiSourceReuse)
+        .collect();
+    assert!(!reuse.is_empty(), "no NbiSourceReuse diagnostic: {report}");
+    assert!(
+        reuse.iter().any(|d| {
+            d.message.contains("nbi-source") && d.message.matches("by `").count() == 2
+        }),
+        "diagnostic does not name both endpoints: {report}"
+    );
+}
+
+/// Positive control for the fixture above: the same reuse *after* `quiet`
+/// is race-free — the completion edge orders the refill behind the DMA.
+#[test]
+fn quiet_makes_source_reuse_clean() {
+    let machine = two_pe_machine();
+    let world = nvshmem_sim::ShmemWorld::init(&machine);
+    let dst = world.malloc("dst", 4);
+    {
+        let world = world.clone();
+        machine.spawn_host("rank0", move |host| {
+            let k = host.launch_cooperative(
+                DevId(0),
+                "patient-reuse",
+                1024,
+                vec![BlockGroup::new("g", 1, move |kc| {
+                    let mut sh = ShmemCtx::new(&world, kc);
+                    let src = kc.machine().alloc(kc.device(), "src", 4);
+                    sh.putmem_nbi(kc, &dst, 0, &src, 0, 4, 1);
+                    sh.quiet(kc);
+                    kc.check_write(&src, 0, 4, "refill src");
+                })],
+            );
+            host.wait_cooperative(&k);
+        });
+    }
+    machine.spawn_host("rank1", move |_host| {});
+    machine.run().unwrap();
+    let report = machine.checker().unwrap().report();
+    assert!(report.clean(), "false positive after quiet: {report}");
+    assert!(report.accesses > 0);
+}

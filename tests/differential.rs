@@ -1,0 +1,94 @@
+//! Differential testing: the CPU-Free execution model must compute the
+//! *bit-identical* field as every CPU-controlled baseline, on every
+//! interconnect topology preset, under perturbed schedules. The protocols
+//! may only change when data moves — never what arrives.
+
+use cpufree_solvers::{run_baseline, run_cpu_free, PoissonProblem};
+use gpu_sim::{ExecMode, TopologyKind};
+use stencil_lab::{StencilConfig, Variant};
+
+const SEEDS: [Option<u64>; 4] = [None, Some(3), Some(11), Some(0xFEED)];
+
+const BASELINES: [Variant; 4] = [
+    Variant::BaselineCopy,
+    Variant::BaselineOverlap,
+    Variant::BaselineP2P,
+    Variant::BaselineNvshmem,
+];
+
+#[test]
+fn cpu_free_matches_every_baseline_on_every_topology() {
+    let mut reference_checksum = None;
+    for topology in TopologyKind::ALL {
+        for seed in SEEDS {
+            let mut cfg = StencilConfig::square2d(34, 6, 4).with_topology(topology);
+            if let Some(s) = seed {
+                cfg = cfg.with_jitter(s);
+            }
+            let free = Variant::CpuFree.run(&cfg);
+            assert_eq!(
+                free.max_err,
+                Some(0.0),
+                "CpuFree wrong on {} seed {seed:?}",
+                topology.name()
+            );
+            // One global reference: the numerics are also invariant across
+            // topologies and schedules.
+            let reference = *reference_checksum.get_or_insert(free.checksum);
+            assert_eq!(
+                free.checksum,
+                reference,
+                "CpuFree checksum drifted on {} seed {seed:?}",
+                topology.name()
+            );
+            for baseline in BASELINES {
+                let out = baseline.run(&cfg);
+                assert_eq!(
+                    out.max_err,
+                    Some(0.0),
+                    "{} wrong on {} seed {seed:?}",
+                    baseline.label(),
+                    topology.name()
+                );
+                assert_eq!(
+                    out.checksum,
+                    free.checksum,
+                    "{} differs from CpuFree on {} seed {seed:?}",
+                    baseline.label(),
+                    topology.name()
+                );
+            }
+        }
+    }
+}
+
+/// The CG solver differential: CPU-Free (device-side recursive-doubling
+/// allreduce) and the CPU-controlled baseline (host-staged linear combine)
+/// intentionally use different reduction orders, so each is compared
+/// bitwise against its own order-matched sequential reference instead of
+/// against each other.
+#[test]
+fn cg_variants_match_order_matched_reference_everywhere() {
+    for topology in TopologyKind::ALL {
+        for seed in SEEDS {
+            let mut prob = PoissonProblem::new(18, 20, 6, 4).with_topology(topology);
+            if let Some(s) = seed {
+                prob = prob.with_jitter(s);
+            }
+            let free = run_cpu_free(&prob, ExecMode::Full);
+            assert_eq!(
+                free.verify(&prob),
+                0.0,
+                "CPU-Free CG wrong on {} seed {seed:?}",
+                topology.name()
+            );
+            let base = run_baseline(&prob, ExecMode::Full);
+            assert_eq!(
+                base.verify(&prob),
+                0.0,
+                "baseline CG wrong on {} seed {seed:?}",
+                topology.name()
+            );
+        }
+    }
+}

@@ -20,6 +20,8 @@ fn jacobi_base() -> StencilConfig {
         threads_per_block: 1024,
         cost: None,
         topology: None,
+        jitter: None,
+        check: false,
     }
 }
 

@@ -49,6 +49,8 @@ fn cpu_free_scales_flat_baselines_degrade() {
             threads_per_block: 1024,
             cost: None,
             topology: None,
+            jitter: None,
+            check: false,
         };
         v.run(&cfg).stats.per_iter.as_nanos() as f64
     };
@@ -183,6 +185,8 @@ fn paper_scale_domains_run_in_timing_mode() {
         threads_per_block: 1024,
         cost: None,
         topology: None,
+        jitter: None,
+        check: false,
     };
     let out = Variant::CpuFree.run(&cfg);
     assert!(out.total.as_nanos() > 0);

@@ -1,0 +1,119 @@
+//! Schedule-perturbation suite: rerun the CPU-Free workloads under seeded
+//! wake-order jitter and assert that (a) the happens-before / conformance
+//! checker stays clean and (b) the numerics are bit-identical to the
+//! unperturbed schedule. Any divergence would mean the protocols depend on
+//! a particular interleaving of simultaneously-woken agents — i.e. a race.
+//!
+//! On failure, the checker diagnostics are dumped to
+//! `target/checker_diagnostics/` so CI can upload them as an artifact.
+
+use cpufree_solvers::{run_cpu_free, CgResult, PoissonProblem};
+use gpu_sim::{CheckReport, ExecMode, TopologyKind};
+use stencil_lab::{StencilConfig, Variant};
+
+const SEEDS: [u64; 5] = [1, 7, 42, 0xDEAD_BEEF, 0x5EED_5EED];
+const TOPOLOGIES: [TopologyKind; 2] = [TopologyKind::NvlinkAllToAll, TopologyKind::PcieTree];
+
+/// Write a failing report to `target/checker_diagnostics/<name>.txt` so CI
+/// can attach it to the run, then return the formatted report for the
+/// assertion message.
+fn dump_if_dirty(name: &str, report: &CheckReport) -> String {
+    let text = format!("{report}");
+    if !report.clean() {
+        let dir = std::path::Path::new("target/checker_diagnostics");
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(dir.join(format!("{name}.txt")), &text);
+    }
+    text
+}
+
+#[test]
+fn jacobi_perturbed_schedules_clean_and_bit_identical() {
+    for topology in TOPOLOGIES {
+        let base_cfg = StencilConfig::square2d(34, 6, 4)
+            .with_topology(topology)
+            .with_check();
+        let base = Variant::CpuFree.run(&base_cfg);
+        let report = base.check.as_ref().expect("checker was enabled");
+        let name = format!("jacobi-{}-unjittered", topology.name());
+        let text = dump_if_dirty(&name, report);
+        assert!(report.clean(), "{name}:\n{text}");
+        assert!(report.accesses > 0, "checker saw no memory effects");
+        assert_eq!(base.max_err, Some(0.0));
+
+        for seed in SEEDS {
+            let cfg = base_cfg.clone().with_jitter(seed);
+            let out = Variant::CpuFree.run(&cfg);
+            let report = out.check.as_ref().expect("checker was enabled");
+            let name = format!("jacobi-{}-seed{seed}", topology.name());
+            let text = dump_if_dirty(&name, report);
+            assert!(report.clean(), "{name}:\n{text}");
+            assert_eq!(out.max_err, Some(0.0), "{name}: numerics diverged");
+            assert_eq!(
+                out.checksum, base.checksum,
+                "{name}: checksum differs from unjittered schedule"
+            );
+        }
+    }
+}
+
+fn checked_cg(prob: &PoissonProblem) -> CgResult {
+    let r = run_cpu_free(prob, ExecMode::Full);
+    assert!(
+        r.check.is_some(),
+        "checker report missing on a checked CG run"
+    );
+    r
+}
+
+#[test]
+fn cg_perturbed_schedules_clean_and_bit_identical() {
+    // 4 PEs exercises recursive doubling, 3 the ring allreduce.
+    for n_pes in [4usize, 3] {
+        for topology in TOPOLOGIES {
+            let base_prob = PoissonProblem::new(18, 20, 6, n_pes)
+                .with_topology(topology)
+                .with_check();
+            let base = checked_cg(&base_prob);
+            let report = base.check.as_ref().unwrap();
+            let name = format!("cg-{}pe-{}-unjittered", n_pes, topology.name());
+            let text = dump_if_dirty(&name, report);
+            assert!(report.clean(), "{name}:\n{text}");
+            assert!(report.accesses > 0, "checker saw no memory effects");
+            assert_eq!(base.verify(&base_prob), 0.0, "{name}: wrong answer");
+
+            for seed in SEEDS {
+                let prob = base_prob.clone().with_jitter(seed);
+                let out = checked_cg(&prob);
+                let report = out.check.as_ref().unwrap();
+                let name = format!("cg-{}pe-{}-seed{seed}", n_pes, topology.name());
+                let text = dump_if_dirty(&name, report);
+                assert!(report.clean(), "{name}:\n{text}");
+                assert_eq!(
+                    out.final_rho.to_bits(),
+                    base.final_rho.to_bits(),
+                    "{name}: final rho diverged"
+                );
+                assert_eq!(
+                    out.x_owned, base.x_owned,
+                    "{name}: solution diverged from unjittered schedule"
+                );
+            }
+        }
+    }
+}
+
+/// Jitter must also leave the CPU-controlled CG baseline bit-identical:
+/// host barriers release whole cohorts at once, which is exactly the batch
+/// the perturbation permutes.
+#[test]
+fn cg_baseline_jitter_invariant() {
+    let base_prob = PoissonProblem::new(16, 18, 4, 4);
+    let base = cpufree_solvers::run_baseline(&base_prob, ExecMode::Full);
+    for seed in SEEDS {
+        let out =
+            cpufree_solvers::run_baseline(&base_prob.clone().with_jitter(seed), ExecMode::Full);
+        assert_eq!(out.final_rho.to_bits(), base.final_rho.to_bits());
+        assert_eq!(out.x_owned, base.x_owned, "seed {seed} diverged");
+    }
+}

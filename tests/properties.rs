@@ -210,6 +210,8 @@ fn cpu_free_exact_for_random_configs() {
             threads_per_block: 1024,
             cost: None,
             topology: None,
+            jitter: None,
+            check: false,
         };
         let out = Variant::CpuFree.run(&cfg);
         assert_eq!(out.max_err, Some(0.0));
@@ -237,6 +239,8 @@ fn nvshmem_baseline_exact_for_random_configs() {
             threads_per_block: 1024,
             cost: None,
             topology: None,
+            jitter: None,
+            check: false,
         };
         let out = Variant::BaselineNvshmem.run(&cfg);
         assert_eq!(out.max_err, Some(0.0));
@@ -275,6 +279,100 @@ fn allreduce_matches_reference() {
         let expect = reference_reduce(&values, ReduceOp::Sum, true);
         let out = results.lock().unwrap();
         assert!(out.iter().all(|r| *r == expect), "{out:?} != {expect}");
+    }
+}
+
+/// The happens-before event stream is acyclic (every direct dependency
+/// points at an earlier event id) and consistent with virtual time (a
+/// dependency never happens at a later virtual time than its dependent),
+/// for random ring-handshake schedules.
+#[test]
+fn hb_graph_acyclic_and_time_consistent() {
+    let mut g = Gen::new(0x4B6);
+    for _ in 0..16 {
+        let n = g.range_usize(2, 6);
+        let rounds = g.range_u64(1, 6);
+        let engine = Engine::new();
+        let hb = engine.enable_hb();
+        let flags: Vec<Flag> = (0..n).map(|_| engine.flag(0)).collect();
+        for i in 0..n {
+            // Each agent signals its successor, then waits on its own flag
+            // (set by its predecessor) — signal-before-wait, so no deadlock.
+            let set_flag = flags[(i + 1) % n];
+            let wait_flag = flags[i];
+            let step = g.range_u64(1, 50);
+            engine.spawn(format!("ring{i}"), move |ctx| {
+                for r in 1..=rounds {
+                    ctx.advance(SimDur::from_nanos(step));
+                    ctx.signal(set_flag, SignalOp::Set, r);
+                    ctx.wait_flag(wait_flag, Cmp::Ge, r);
+                }
+            });
+        }
+        engine.run().unwrap();
+        let events = hb.events();
+        assert!(!events.is_empty());
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.id as usize, i, "event ids are the stream positions");
+            for &d in &ev.deps {
+                assert!(d < ev.id, "dep {d} does not precede event {}", ev.id);
+                assert!(
+                    events[d as usize].time <= ev.time,
+                    "dep {d} at {:?} is later than event {} at {:?}",
+                    events[d as usize].time,
+                    ev.id,
+                    ev.time
+                );
+            }
+        }
+        assert!(hb.is_clean(), "{:?}", hb.diagnostics());
+    }
+}
+
+/// Trace overlap and overlap-ratio are functions of the span *set*: pushing
+/// the same spans in a different order changes nothing.
+#[test]
+fn overlap_ratio_invariant_under_span_reordering() {
+    let mut g = Gen::new(0x0B5);
+    for _ in 0..64 {
+        let n_spans = g.range_usize(2, 40);
+        let mut spans = Vec::new();
+        for _ in 0..n_spans {
+            let start = g.range_u64(0, 10_000);
+            let len = g.range_u64(1, 500);
+            spans.push(TraceSpan {
+                agent: cpufree::sim_des::AgentId(0),
+                agent_name: "p".into(),
+                start: SimTime(start),
+                end: SimTime(start + len),
+                category: if g.range_u64(0, 2) == 0 {
+                    Category::Comm
+                } else {
+                    Category::Compute
+                },
+                label: String::new(),
+            });
+        }
+        let measure = |order: &[usize]| {
+            let mut t = Trace::new();
+            for &i in order {
+                t.push(spans[i].clone());
+            }
+            (
+                t.overlap(Category::Comm, Category::Compute),
+                t.overlap_ratio(Category::Comm, Category::Compute),
+            )
+        };
+        let ident: Vec<usize> = (0..n_spans).collect();
+        let (ov0, r0) = measure(&ident);
+        let mut perm = ident;
+        for i in (1..n_spans).rev() {
+            let j = g.range_usize(0, i + 1);
+            perm.swap(i, j);
+        }
+        let (ov1, r1) = measure(&perm);
+        assert_eq!(ov0, ov1);
+        assert!(r0 == r1, "ratio changed under reordering: {r0} vs {r1}");
     }
 }
 
