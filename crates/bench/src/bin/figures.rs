@@ -379,11 +379,53 @@ fn check() {
     println!(" the factor is host wall clock, paid only when a run opts in)");
 }
 
+/// `figures verify`: run the static protocol verifier over every shipped
+/// program at every pipeline stage and GPU count. Writes the full report to
+/// `target/verify_report/report.txt` and exits nonzero on any diagnostic,
+/// so CI can gate on it and keep the report as an artifact.
+fn verify() -> i32 {
+    println!("== Static protocol verification — shipped programs, all stages ==");
+    let reports = verify_corpus();
+    let mut dirty = 0usize;
+    let mut full = String::new();
+    for r in &reports {
+        let status = if r.clean() {
+            "clean".into()
+        } else {
+            dirty += 1;
+            format!("{} diagnostic(s)", r.diags.len())
+        };
+        println!("  {:<36} {status}", r.program);
+        use std::fmt::Write as _;
+        let _ = writeln!(full, "{r}");
+    }
+    let dir = std::path::Path::new("target/verify_report");
+    std::fs::create_dir_all(dir).expect("create target/verify_report");
+    let path = dir.join("report.txt");
+    std::fs::write(&path, full).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!(
+        "\n{} program/stage/gpu-count combinations, {dirty} with diagnostics",
+        reports.len()
+    );
+    println!("[wrote {}]", path.display());
+    if dirty > 0 {
+        eprintln!("verification FAILED — see {}", path.display());
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--json") {
         args.remove(i);
         JSON.store(true, Ordering::Relaxed);
+    }
+    // `verify` is a gate, not a figure: run it alone and propagate its exit
+    // status.
+    if args.iter().any(|a| a == "verify") {
+        std::process::exit(verify());
     }
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a == name);

@@ -881,6 +881,66 @@ pub fn speedup_pct(baseline: SimDur, ours: SimDur) -> f64 {
     cpufree_core::RunStats::speedup_pct(baseline, ours)
 }
 
+/// Statically verify every shipped SDFG program — as the frontend builds
+/// it, after `gpu_transform`, and after the full CPU-Free pipeline (both
+/// put granularities) — at each GPU count of [`GPU_COUNTS`]. Returns one
+/// report per (program, stage, GPU count); a conforming corpus is all
+/// clean. The `figures verify` subcommand and the CI `verify` job gate on
+/// this.
+pub fn verify_corpus() -> Vec<dace_sim::verify::VerifyReport> {
+    use dace_sim::transform::{
+        gpu_persistent_kernel, mpi_to_nvshmem_with, nvshmem_array, PutGranularity,
+    };
+    use dace_sim::verify::{verify_sdfg, VerifyReport};
+    use dace_sim::{Bindings, Sdfg};
+
+    fn staged(
+        name: &str,
+        sdfg: &Sdfg,
+        n_pes: usize,
+        user: &Bindings,
+        stage: &str,
+        out: &mut Vec<VerifyReport>,
+    ) {
+        let mut report = verify_sdfg(sdfg, n_pes, user);
+        report.program = format!("{name}/{stage} @{n_pes}gpus");
+        out.push(report);
+    }
+
+    let mut out = Vec::new();
+    for &g in &GPU_COUNTS {
+        let setups: Vec<(&str, Sdfg, Bindings)> = vec![
+            {
+                let s = Jacobi1dSetup::new(64, 5, g);
+                ("jacobi1d", s.sdfg.clone(), s.user_bindings())
+            },
+            {
+                let s = Jacobi2dSetup::new(8, 8, 5, g);
+                ("jacobi2d", s.sdfg.clone(), s.user_bindings())
+            },
+        ];
+        for (name, frontend, user) in setups {
+            staged(name, &frontend, g, &user, "frontend", &mut out);
+
+            let mut gpu = frontend.clone();
+            gpu_transform(&mut gpu);
+            staged(name, &gpu, g, &user, "gpu", &mut out);
+
+            let mut free = frontend.clone();
+            to_cpu_free(&mut free).expect("pipeline");
+            staged(name, &free, g, &user, "cpu_free", &mut out);
+
+            let mut block = frontend.clone();
+            gpu_transform(&mut block);
+            mpi_to_nvshmem_with(&mut block, PutGranularity::Block).expect("mpi_to_nvshmem");
+            nvshmem_array(&mut block);
+            gpu_persistent_kernel(&mut block).expect("gpu_persistent_kernel");
+            staged(name, &block, g, &user, "cpu_free_block", &mut out);
+        }
+    }
+    out
+}
+
 /// Minimal wall-clock micro-bench harness (std-only; the workspace builds
 /// offline, so the `benches/` binaries use this instead of criterion).
 pub mod harness {

@@ -83,6 +83,57 @@ impl Expr {
     pub fn rem(self, rhs: Expr) -> Expr {
         Expr::Rem(Box::new(self), Box::new(rhs))
     }
+
+    /// Decompose the expression as `slope * var + intercept`, with every
+    /// symbol other than `var` looked up in `b`. Returns `None` when the
+    /// expression is not affine in `var` (a product of two `var`-dependent
+    /// factors, `var` under division/remainder) or references a symbol
+    /// bound neither by `b` nor equal to `var`.
+    ///
+    /// The static verifier uses this to reason about how signal counters
+    /// and loop-carried subsets progress across iterations without
+    /// enumerating every iteration.
+    pub fn affine(&self, var: &str, b: &Bindings) -> Option<(i64, i64)> {
+        match self {
+            Expr::Const(v) => Some((0, *v)),
+            Expr::Sym(name) if name == var => Some((1, 0)),
+            Expr::Sym(name) => b.get(name).map(|v| (0, *v)),
+            Expr::Add(l, r) => {
+                let (s1, c1) = l.affine(var, b)?;
+                let (s2, c2) = r.affine(var, b)?;
+                Some((s1 + s2, c1 + c2))
+            }
+            Expr::Sub(l, r) => {
+                let (s1, c1) = l.affine(var, b)?;
+                let (s2, c2) = r.affine(var, b)?;
+                Some((s1 - s2, c1 - c2))
+            }
+            Expr::Mul(l, r) => {
+                let (s1, c1) = l.affine(var, b)?;
+                let (s2, c2) = r.affine(var, b)?;
+                match (s1, s2) {
+                    (0, _) => Some((c1 * s2, c1 * c2)),
+                    (_, 0) => Some((s1 * c2, c1 * c2)),
+                    _ => None, // quadratic in `var`
+                }
+            }
+            Expr::Div(l, r) | Expr::Rem(l, r) => {
+                // Only constant-folds: division does not distribute over the
+                // affine form.
+                let (s1, c1) = l.affine(var, b)?;
+                let (s2, c2) = r.affine(var, b)?;
+                if s1 != 0 || s2 != 0 || c2 == 0 {
+                    return None;
+                }
+                let v = if matches!(self, Expr::Div(..)) {
+                    c1 / c2
+                } else {
+                    c1 % c2
+                };
+                Some((0, v))
+            }
+        }
+    }
 }
 
 impl fmt::Display for Expr {
@@ -192,6 +243,29 @@ mod tests {
         let c2 = Cond::new(Expr::s("rank"), CondOp::Lt, Expr::s("size").sub(Expr::c(1)));
         assert!(c2.eval(&b(&[("rank", 2), ("size", 4)])));
         assert!(!c2.eval(&b(&[("rank", 3), ("size", 4)])));
+    }
+
+    #[test]
+    fn affine_decomposition() {
+        let binds = b(&[("chunk", 16), ("size", 4)]);
+        // t*2 + chunk - 1  ->  slope 2, intercept 15.
+        let e = Expr::s("t")
+            .mul(Expr::c(2))
+            .add(Expr::s("chunk"))
+            .sub(Expr::c(1));
+        assert_eq!(e.affine("t", &binds), Some((2, 15)));
+        // Pure constant and pure variable.
+        assert_eq!(Expr::c(7).affine("t", &binds), Some((0, 7)));
+        assert_eq!(Expr::s("t").affine("t", &binds), Some((1, 0)));
+        // Constant-folded division of bound symbols.
+        assert_eq!(
+            Expr::s("size").div(Expr::c(2)).affine("t", &binds),
+            Some((0, 2))
+        );
+        // Not affine: t*t, t/2, unbound symbol.
+        assert_eq!(Expr::s("t").mul(Expr::s("t")).affine("t", &binds), None);
+        assert_eq!(Expr::s("t").div(Expr::c(2)).affine("t", &binds), None);
+        assert_eq!(Expr::s("nope").affine("t", &binds), None);
     }
 
     #[test]

@@ -16,22 +16,34 @@
 //!   kernel with conservatively scheduled in-kernel communication (§5.3.2);
 //! * the **benchmark programs** ([`programs`]): distributed Jacobi 1D
 //!   (single-element messages) and Jacobi 2D (four neighbors, strided
-//!   east/west columns) with sequential references.
+//!   east/west columns) with sequential references;
+//! * a **static protocol verifier** ([`analysis`], [`verify`]): walks the
+//!   SDFG under symbolic rank bindings and proves CPU-Free conformance
+//!   (signal ↔ wait balance, nbi source reuse, halo coverage, storage
+//!   classes, wait cycles) for *all* schedules before anything runs,
+//!   sharing diagnostic vocabulary with the dynamic happens-before checker
+//!   and gating both backends and the transform pipeline.
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod expr;
 pub mod ir;
 pub mod lower;
 pub mod mpi;
 pub mod programs;
 pub mod transform;
+pub mod verify;
 
+pub use analysis::{CommGraph, IntervalSet};
 pub use expr::{Bindings, Cond, CondOp, Expr};
 pub use ir::{Schedule, Sdfg, Storage};
-pub use lower::{run_discrete, run_persistent, LowerError, Lowered};
+pub use lower::{
+    run_discrete, run_persistent, run_persistent_checked, CheckedRun, LowerError, Lowered,
+};
 pub use programs::{Jacobi1dSetup, Jacobi2dSetup};
 pub use transform::{
     gpu_persistent_kernel, gpu_transform, map_fusion, mpi_to_nvshmem, mpi_to_nvshmem_with,
     nvshmem_array, to_cpu_free, PutGranularity, TransformError,
 };
+pub use verify::{verify_sdfg, verify_structure, StaticDiag, VerifyError, VerifyReport};

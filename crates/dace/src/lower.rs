@@ -12,12 +12,17 @@
 //!   communication scheduled conservatively (single thread followed by a
 //!   grid sync, §5.3.2).
 
+use crate::analysis::{map_footprint, CommGraph, IntervalSet};
 use crate::expr::Bindings;
 use crate::ir::*;
 use crate::mpi::{ChanKey, MpiSim};
 use crate::programs::{jacobi1d_point, jacobi2d_point};
+use crate::verify::{verify_sdfg, VerifyError};
 use cpufree_core::{launch_cpu_free, RunStats};
-use gpu_sim::{BlockGroup, Buf, CostModel, DevId, ExecMode, HostCtx, KernelCtx, Machine, Stream};
+use gpu_sim::{
+    BlockGroup, Buf, CheckReport, CostModel, DevId, ExecMode, HostCtx, KernelCtx, Machine, Stream,
+    TopologyKind,
+};
 use nvshmem_sim::{ShmemCtx, ShmemWorld, SymArray, SymSignal};
 use sim_des::{us, Category, Cmp, SignalOp, SimDur, SimTime};
 use std::collections::{BTreeMap, HashMap};
@@ -39,6 +44,9 @@ pub enum LowerError {
     NonUniformShape(String),
     /// NVSHMEM nodes are not supported by the discrete backend.
     NvshmemInDiscrete,
+    /// The static protocol verifier rejected the program (lost signals,
+    /// nbi source reuse, halo gaps, ... — see the embedded report).
+    ProtocolViolation(VerifyError),
 }
 
 impl fmt::Display for LowerError {
@@ -65,11 +73,19 @@ impl fmt::Display for LowerError {
             LowerError::NvshmemInDiscrete => {
                 write!(f, "NVSHMEM nodes are not supported by the discrete backend")
             }
+            LowerError::ProtocolViolation(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for LowerError {}
+impl std::error::Error for LowerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LowerError::ProtocolViolation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// A lowered-and-executed program's results.
 #[derive(Debug)]
@@ -116,6 +132,12 @@ struct Instance {
     shapes: BTreeMap<String, Vec<i64>>,
     sigs: BTreeMap<u32, SymSignal>,
     world: ShmemWorld,
+    /// Dynamic checker enabled: annotate map/copy footprints and iteration
+    /// commits so the happens-before tracker sees SDFG-level accesses.
+    checked: bool,
+    /// Per PE: may this rank report iteration commits to the divergence
+    /// monitor? (See [`CommGraph::iteration_eligible`].)
+    iter_eligible: Vec<bool>,
 }
 
 impl Instance {
@@ -143,6 +165,26 @@ fn build_instance(
     init: &dyn Fn(usize, &str) -> Vec<f64>,
 ) -> Result<Arc<Instance>, LowerError> {
     let machine = Machine::new(n_pes, CostModel::a100_hgx(), exec);
+    build_instance_on(sdfg, n_pes, user, machine, init)
+}
+
+/// Like [`build_instance`] but on a caller-provided machine (custom
+/// topology, checker enabled, ...). The machine's device count must match
+/// `n_pes`.
+fn build_instance_on(
+    sdfg: &Sdfg,
+    n_pes: usize,
+    user: &Bindings,
+    machine: Machine,
+    init: &dyn Fn(usize, &str) -> Vec<f64>,
+) -> Result<Arc<Instance>, LowerError> {
+    let exec = machine.exec_mode();
+    let checked = machine.checker().is_some();
+    let iter_eligible = if checked {
+        CommGraph::build(sdfg, n_pes, user).iteration_eligible()
+    } else {
+        vec![false; n_pes]
+    };
     let world = ShmemWorld::init(&machine);
     // Resolve shapes; require uniformity across PEs.
     let mut shapes = BTreeMap::new();
@@ -207,7 +249,21 @@ fn build_instance(
         shapes,
         sigs,
         world,
+        checked,
+        iter_eligible,
     }))
+}
+
+/// The static verification gate both backends run after their structural
+/// legality checks: malformed or mis-transformed programs fail here, at
+/// lowering time, instead of deadlocking (or silently racing) in gpu-sim.
+fn verify_gate(sdfg: &Sdfg, n_pes: usize, user: &Bindings) -> Result<(), LowerError> {
+    let report = verify_sdfg(sdfg, n_pes, user);
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(LowerError::ProtocolViolation(VerifyError { report }))
+    }
 }
 
 /// Execute a map's tasklet functionally (Full mode only).
@@ -304,6 +360,7 @@ pub fn run_discrete(
     if let Some(e) = err {
         return Err(e);
     }
+    verify_gate(sdfg, n_pes, user)?;
     let inst = build_instance(sdfg, n_pes, user, exec, init)?;
     let shapes = inst.shapes.clone();
     let mpi = Arc::new(MpiSim::build(
@@ -501,15 +558,10 @@ fn exec_state_discrete(
 // Persistent (CPU-Free) backend
 // ------------------------------------------------------------------
 
-/// Validate and run the CPU-Free (persistent, NVSHMEM) backend.
-pub fn run_persistent(
-    sdfg: &Sdfg,
-    n_pes: usize,
-    user: &Bindings,
-    iterations: u64,
-    exec: ExecMode,
-    init: &dyn Fn(usize, &str) -> Vec<f64>,
-) -> Result<Lowered, LowerError> {
+/// Structural legality of an SDFG for the persistent backend: all maps on
+/// the persistent schedule, no MPI nodes, symmetric put targets,
+/// contiguous `PutmemSignal` subsets.
+fn persistent_legality(sdfg: &Sdfg) -> Result<(), LowerError> {
     let mut err: Option<LowerError> = None;
     sdfg.visit_states(&mut |state| {
         for op in &state.ops {
@@ -547,11 +599,14 @@ pub fn run_persistent(
     if let Some(e) = err {
         return Err(e);
     }
-    let inst = build_instance(sdfg, n_pes, user, exec, init)?;
+    Ok(())
+}
+
+/// Spawn the per-PE persistent control kernels and run the machine.
+fn launch_persistent(inst: &Arc<Instance>, name: &str) -> Result<SimTime, sim_des::SimError> {
     let sm = inst.machine.spec().sm_count as u64;
-    let inst_l = Arc::clone(&inst);
-    let name = sdfg.name.clone();
-    let end = launch_cpu_free(&inst.machine.clone(), &name, 1024, move |pe| {
+    let inst_l = Arc::clone(inst);
+    launch_cpu_free(&inst.machine.clone(), name, 1024, move |pe| {
         let inst = Arc::clone(&inst_l);
         vec![BlockGroup::new("ctrl", sm, move |k| {
             let mut b = inst.bindings(pe);
@@ -561,8 +616,74 @@ pub fn run_persistent(
             exec_cf_persistent(k, &mut sh, &inst, pe, &mut b, &body);
         })]
     })
-    .unwrap_or_else(|e| panic!("persistent lowering run failed: {e}"));
+}
+
+/// Validate and run the CPU-Free (persistent, NVSHMEM) backend.
+pub fn run_persistent(
+    sdfg: &Sdfg,
+    n_pes: usize,
+    user: &Bindings,
+    iterations: u64,
+    exec: ExecMode,
+    init: &dyn Fn(usize, &str) -> Vec<f64>,
+) -> Result<Lowered, LowerError> {
+    persistent_legality(sdfg)?;
+    verify_gate(sdfg, n_pes, user)?;
+    let inst = build_instance(sdfg, n_pes, user, exec, init)?;
+    let end = launch_persistent(&inst, &sdfg.name)
+        .unwrap_or_else(|e| panic!("persistent lowering run failed: {e}"));
     Ok(collect(&inst, end, iterations))
+}
+
+/// The result of a dynamically-checked persistent run: the happens-before
+/// checker's report alongside the (possibly absent, on deadlock) execution
+/// results.
+#[derive(Debug)]
+pub struct CheckedRun {
+    /// Execution results; `None` when the simulated run deadlocked.
+    pub lowered: Option<Lowered>,
+    /// The dynamic checker's findings (races, lost signals, divergence).
+    pub report: CheckReport,
+    /// Did the run deadlock or time out instead of completing?
+    pub deadlocked: bool,
+}
+
+/// Run the CPU-Free backend under the dynamic happens-before checker, with
+/// SDFG-level map/copy footprints and per-iteration commits annotated.
+///
+/// With `gate` set, the static verifier runs first and rejects
+/// non-conforming programs as [`LowerError::ProtocolViolation`] — the
+/// production configuration. The differential test harness passes
+/// `gate: false` to execute known-bad programs and compare the dynamic
+/// findings against the static report.
+pub fn run_persistent_checked(
+    sdfg: &Sdfg,
+    n_pes: usize,
+    user: &Bindings,
+    iterations: u64,
+    topology: TopologyKind,
+    gate: bool,
+    init: &dyn Fn(usize, &str) -> Vec<f64>,
+) -> Result<CheckedRun, LowerError> {
+    persistent_legality(sdfg)?;
+    if gate {
+        verify_gate(sdfg, n_pes, user)?;
+    }
+    let machine = Machine::with_topology(n_pes, CostModel::a100_hgx(), topology, ExecMode::Full)
+        .with_checker();
+    let inst = build_instance_on(sdfg, n_pes, user, machine, init)?;
+    let (lowered, deadlocked) = match launch_persistent(&inst, &sdfg.name) {
+        Ok(end) => (Some(collect(&inst, end, iterations)), false),
+        // Deadlock/timeout: the machine already converted still-blocked
+        // waits into lost-signal diagnostics on the checker.
+        Err(_) => (None, true),
+    };
+    let report = inst.machine.checker().expect("checker enabled").report();
+    Ok(CheckedRun {
+        lowered,
+        report,
+        deadlocked,
+    })
 }
 
 fn exec_cf_persistent(
@@ -580,12 +701,19 @@ fn exec_cf_persistent(
                 start,
                 end,
                 body,
-                ..
+                persistent,
             } => {
                 let (lo, hi) = (start.eval(b), end.eval(b));
                 for v in lo..=hi {
                     b.insert(var.clone(), v);
                     exec_cf_persistent(k, sh, inst, pe, b, body);
+                    // Report the iteration commit to the divergence monitor
+                    // (eligible ranks only — see `iteration_eligible`).
+                    if *persistent && inst.checked && inst.iter_eligible[pe] {
+                        if let Some(chk) = inst.machine.checker() {
+                            chk.iteration(pe, v.max(0) as u64, &format!("pe{pe}"), k.now());
+                        }
+                    }
                 }
             }
             Cf::State(state) => exec_state_persistent(k, sh, inst, pe, b, state),
@@ -615,6 +743,23 @@ fn exec_state_persistent(
                     k.grid_sync();
                     comm_since_sync = false;
                 }
+                if inst.checked {
+                    // Exact per-interval footprints: a bounding box would
+                    // falsely race with concurrently-landing halo puts.
+                    let fp = map_footprint(&inst.sdfg, m, b);
+                    for (array, cells) in &fp.reads {
+                        let buf = inst.buf(array, pe).clone();
+                        for &(lo, hi) in cells.intervals() {
+                            k.check_read(&buf, lo, hi, &m.name);
+                        }
+                    }
+                    for (array, cells) in &fp.writes {
+                        let buf = inst.buf(array, pe).clone();
+                        for &(lo, hi) in cells.intervals() {
+                            k.check_write(&buf, lo, hi, &m.name);
+                        }
+                    }
+                }
                 let dur = map_cost(&cost, m.volume(b), false);
                 k.busy(Category::Compute, m.name.clone(), dur);
                 if k.exec_mode() == ExecMode::Full {
@@ -625,6 +770,16 @@ fn exec_state_persistent(
                 let rd = dst.resolve(inst.shape(&dst.array), b);
                 let rs = src.resolve(inst.shape(&src.array), b);
                 assert_eq!(rd.count, rs.count, "copy size mismatch");
+                if inst.checked {
+                    let sbuf = inst.buf(&src.array, pe).clone();
+                    for &(lo, hi) in IntervalSet::from_resolved(&rs).intervals() {
+                        k.check_read(&sbuf, lo, hi, "copy");
+                    }
+                    let dbuf = inst.buf(&dst.array, pe).clone();
+                    for &(lo, hi) in IntervalSet::from_resolved(&rd).intervals() {
+                        k.check_write(&dbuf, lo, hi, "copy");
+                    }
+                }
                 let bytes = (rd.count * 8) as u64;
                 k.busy(Category::Comm, "in-kernel copy", cost.local_copy(bytes));
                 if k.exec_mode() == ExecMode::Full {

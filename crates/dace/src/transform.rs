@@ -3,6 +3,7 @@
 
 use crate::expr::Expr;
 use crate::ir::*;
+use crate::verify::{verify_structure, VerifyError};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -15,6 +16,9 @@ pub enum TransformError {
     NoLoop,
     /// `MPIToNVSHMEM` could not match a send with a receive.
     UnmatchedMessage(u32),
+    /// The structural protocol verifier rejected the transform's output —
+    /// a rewrite bug would otherwise surface as a runtime deadlock.
+    ProtocolViolation(VerifyError),
 }
 
 impl fmt::Display for TransformError {
@@ -27,11 +31,30 @@ impl fmt::Display for TransformError {
             TransformError::UnmatchedMessage(tag) => {
                 write!(f, "MPI message with tag {tag} has no matching receive")
             }
+            TransformError::ProtocolViolation(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for TransformError {}
+impl std::error::Error for TransformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransformError::ProtocolViolation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Post-transform structural gate: fail the transform (instead of
+/// deadlocking later in gpu-sim) when its output is not protocol-conformant.
+fn structural_gate(sdfg: &Sdfg, require_symmetric: bool) -> Result<(), TransformError> {
+    let report = verify_structure(sdfg, require_symmetric);
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(TransformError::ProtocolViolation(VerifyError { report }))
+    }
+}
 
 /// `GPUTransformSDFG`: schedule every sequential map on the GPU and move
 /// host arrays to device global memory — the paper's "trivially port to
@@ -71,6 +94,11 @@ pub fn map_fusion(sdfg: &mut Sdfg) -> usize {
                 let (a, b) = (&state.ops[i], &state.ops[i + 1]);
                 match (&a.op, &b.op, &a.guard, &b.guard) {
                     (Op::Map(ma), Op::Map(mb), None, None) => {
+                        // Already-fused maps share their predecessor's
+                        // kernel; fusing across them again would double-count
+                        // (and rename endlessly) — this keeps the pass
+                        // idempotent.
+                        let fresh = !ma.name.ends_with(".fused") && !mb.name.ends_with(".fused");
                         let same_space = ma.schedule == mb.schedule
                             && ma.range.len() == mb.range.len()
                             && ma
@@ -91,7 +119,7 @@ pub fn map_fusion(sdfg: &mut Sdfg) -> usize {
                                 TaskletKind::Jacobi2d { src: s, .. }
                             ) if d == s
                         );
-                        same_space && independent
+                        fresh && same_space && independent
                     }
                     _ => false,
                 }
@@ -348,7 +376,11 @@ pub fn mpi_to_nvshmem_with(
     });
     match error {
         Some(e) => Err(e),
-        None => Ok(()),
+        None => {
+            // Storage is not retargeted here (NVSHMEMArray does that), so
+            // only the signal balance is checkable at this point.
+            structural_gate(sdfg, false)
+        }
     }
 }
 
@@ -359,7 +391,8 @@ pub fn to_cpu_free(sdfg: &mut Sdfg) -> Result<(), TransformError> {
     gpu_transform(sdfg);
     mpi_to_nvshmem(sdfg)?;
     nvshmem_array(sdfg);
-    gpu_persistent_kernel(sdfg)
+    gpu_persistent_kernel(sdfg)?;
+    structural_gate(sdfg, true)
 }
 
 #[cfg(test)]

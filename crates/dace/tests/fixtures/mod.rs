@@ -1,0 +1,285 @@
+// Not every fixture is used by every test binary that includes this module.
+#![allow(dead_code)]
+
+//! Hand-built non-conforming SDFGs shared by the static-verifier and
+//! differential test suites. Each fixture violates exactly one protocol
+//! rule, so the expected diagnostic set is a singleton (plus the
+//! `LostSignal` shadow where the wait can never complete).
+
+use dace_sim::expr::{Bindings, Cond, CondOp, Expr};
+use dace_sim::ir::*;
+
+/// `rank == r` guard.
+pub fn on_rank(r: i64) -> Cond {
+    Cond::new(Expr::s("rank"), CondOp::Eq, Expr::c(r))
+}
+
+fn arr(name: &str, len: i64, storage: Storage) -> ArrayDecl {
+    ArrayDecl {
+        name: name.into(),
+        shape: vec![Expr::c(len)],
+        storage,
+    }
+}
+
+fn idx(i: Expr) -> Vec<DimRange> {
+    vec![DimRange::idx(i)]
+}
+
+fn span(start: i64, count: i64) -> Vec<DimRange> {
+    vec![DimRange::range(Expr::c(start), Expr::c(count))]
+}
+
+fn time_loop(trip: i64, body: Vec<Cf>) -> Vec<Cf> {
+    vec![Cf::Loop {
+        var: "t".into(),
+        start: Expr::c(1),
+        end: Expr::c(trip),
+        body,
+        persistent: true,
+    }]
+}
+
+/// Fixture (a): pe0 waits on flag 7 every iteration, but no PE ever sets
+/// it. Expected: `UnmatchedSignalWait` + `LostSignal` at pe0.
+pub fn unmatched_wait() -> Sdfg {
+    Sdfg {
+        name: "unmatched_wait".into(),
+        symbols: vec![],
+        derived: vec![],
+        arrays: vec![arr("A", 4, Storage::GpuNvshmem)],
+        body: time_loop(
+            2,
+            vec![Cf::State(State {
+                name: "wait".into(),
+                ops: vec![GuardedOp::when(
+                    on_rank(0),
+                    Op::Lib(LibNode::SignalWait {
+                        sig: 7,
+                        val: Expr::s("t"),
+                    }),
+                )],
+            })],
+        ),
+    }
+}
+
+/// Fixture (b): pe0 puts `A[1]` to pe1 with a non-blocking put, then a map
+/// overwrites `A[1]` *before* the acknowledging signal round trip (the ack
+/// wait sits after the map). Expected: `NbiSourceReuse` at pe0 vs pe1.
+pub fn nbi_reuse() -> Sdfg {
+    Sdfg {
+        name: "nbi_reuse".into(),
+        symbols: vec![],
+        derived: vec![],
+        arrays: vec![
+            arr("A", 4, Storage::GpuNvshmem),
+            arr("B", 4, Storage::GpuNvshmem),
+        ],
+        body: time_loop(
+            2,
+            vec![
+                Cf::State(State {
+                    name: "halo".into(),
+                    ops: vec![
+                        GuardedOp::when(
+                            on_rank(0),
+                            Op::Lib(LibNode::PutmemSignal {
+                                dst: DataRef::new("A", idx(Expr::c(2))),
+                                src: DataRef::new("A", idx(Expr::c(1))),
+                                sig: 0,
+                                val: Expr::s("t"),
+                                pe: Expr::c(1),
+                            }),
+                        ),
+                        GuardedOp::when(
+                            on_rank(1),
+                            Op::Lib(LibNode::SignalWait {
+                                sig: 0,
+                                val: Expr::s("t"),
+                            }),
+                        ),
+                        GuardedOp::when(
+                            on_rank(1),
+                            Op::Lib(LibNode::SignalOp {
+                                sig: 1,
+                                val: Expr::s("t"),
+                                pe: Expr::c(0),
+                            }),
+                        ),
+                    ],
+                }),
+                // The bug: this map writes A[1] while the put may still be
+                // reading it — the ack wait comes one state too late.
+                Cf::State(State {
+                    name: "update".into(),
+                    ops: vec![GuardedOp::when(
+                        on_rank(0),
+                        Op::Map(MapOp {
+                            name: "overwrite".into(),
+                            schedule: Schedule::GpuPersistent,
+                            range: vec![("i".into(), Expr::c(1), Expr::c(1))],
+                            tasklet: TaskletKind::Jacobi1d {
+                                src: "B".into(),
+                                dst: "A".into(),
+                            },
+                        }),
+                    )],
+                }),
+                Cf::State(State {
+                    name: "ack".into(),
+                    ops: vec![GuardedOp::when(
+                        on_rank(0),
+                        Op::Lib(LibNode::SignalWait {
+                            sig: 1,
+                            val: Expr::s("t"),
+                        }),
+                    )],
+                }),
+            ],
+        ),
+    }
+}
+
+/// Fixture (c): pe0's put covers only `A[0]` on pe1, but pe1 copies
+/// `A[0..2)` — cell 1 is remote-fed yet never written by any put.
+/// Expected: `HaloCoverageGap` at pe1 (producer pe0).
+pub fn halo_gap() -> Sdfg {
+    Sdfg {
+        name: "halo_gap".into(),
+        symbols: vec![],
+        derived: vec![],
+        arrays: vec![arr("A", 4, Storage::GpuNvshmem), arr("C", 2, Storage::Gpu)],
+        body: time_loop(
+            1,
+            vec![
+                Cf::State(State {
+                    name: "halo".into(),
+                    ops: vec![GuardedOp::when(
+                        on_rank(0),
+                        Op::Lib(LibNode::PutmemSignal {
+                            dst: DataRef::new("A", idx(Expr::c(0))),
+                            src: DataRef::new("A", idx(Expr::c(0))),
+                            sig: 0,
+                            val: Expr::s("t"),
+                            pe: Expr::c(1),
+                        }),
+                    )],
+                }),
+                Cf::State(State {
+                    name: "consume".into(),
+                    ops: vec![
+                        GuardedOp::when(
+                            on_rank(1),
+                            Op::Lib(LibNode::SignalWait {
+                                sig: 0,
+                                val: Expr::s("t"),
+                            }),
+                        ),
+                        GuardedOp::when(
+                            on_rank(1),
+                            Op::Copy {
+                                dst: DataRef::new("C", span(0, 2)),
+                                src: DataRef::new("A", span(0, 2)),
+                            },
+                        ),
+                    ],
+                }),
+            ],
+        ),
+    }
+}
+
+/// Fixture (d): a put targeting `G`, whose storage class is plain `Gpu` —
+/// the remote side has no symmetric allocation. Expected:
+/// `StorageClassViolation` at pe0 targeting pe1.
+pub fn bad_storage() -> Sdfg {
+    Sdfg {
+        name: "bad_storage".into(),
+        symbols: vec![],
+        derived: vec![],
+        arrays: vec![arr("G", 2, Storage::Gpu)],
+        body: time_loop(
+            1,
+            vec![Cf::State(State {
+                name: "push".into(),
+                ops: vec![
+                    GuardedOp::when(
+                        on_rank(0),
+                        Op::Lib(LibNode::PutmemSignal {
+                            dst: DataRef::new("G", idx(Expr::c(0))),
+                            src: DataRef::new("G", idx(Expr::c(1))),
+                            sig: 0,
+                            val: Expr::s("t"),
+                            pe: Expr::c(1),
+                        }),
+                    ),
+                    GuardedOp::when(
+                        on_rank(1),
+                        Op::Lib(LibNode::SignalWait {
+                            sig: 0,
+                            val: Expr::s("t"),
+                        }),
+                    ),
+                ],
+            })],
+        ),
+    }
+}
+
+/// Fixture (e): pe0 pushes one cell per iteration and pe1 consumes it, but
+/// pe0 never waits on anything — its iteration counter is unthrottled.
+/// Expected: `IterationDivergence` (pe0 vs pe1), statically and (because
+/// put issue is much cheaper than transfer delivery) dynamically.
+pub fn one_sided_throttle() -> Sdfg {
+    Sdfg {
+        name: "one_sided_throttle".into(),
+        symbols: vec![],
+        derived: vec![],
+        arrays: vec![arr("A", 8, Storage::GpuNvshmem)],
+        body: time_loop(
+            4,
+            vec![Cf::State(State {
+                name: "push".into(),
+                ops: vec![
+                    GuardedOp::when(
+                        on_rank(0),
+                        Op::Lib(LibNode::PutmemSignal {
+                            dst: DataRef::new("A", idx(Expr::s("t"))),
+                            src: DataRef::new("A", idx(Expr::c(0))),
+                            sig: 0,
+                            val: Expr::s("t"),
+                            pe: Expr::c(1),
+                        }),
+                    ),
+                    GuardedOp::when(
+                        on_rank(1),
+                        Op::Lib(LibNode::SignalWait {
+                            sig: 0,
+                            val: Expr::s("t"),
+                        }),
+                    ),
+                ],
+            })],
+        ),
+    }
+}
+
+/// Zero-initialize every local array of `sdfg` (fixture shapes are
+/// constant, so empty bindings suffice to size them).
+pub fn zero_init(sdfg: &Sdfg) -> impl Fn(usize, &str) -> Vec<f64> + '_ {
+    move |_pe, name| {
+        let b = Bindings::default();
+        let len: i64 = sdfg.array(name).shape.iter().map(|e| e.eval(&b)).product();
+        vec![0.0; len as usize]
+    }
+}
+
+/// The trip count of each fixture's time loop (used as the `iterations`
+/// argument when running).
+pub fn trip(sdfg: &Sdfg) -> u64 {
+    match sdfg.body.first() {
+        Some(Cf::Loop { end, .. }) => end.eval(&Bindings::default()) as u64,
+        _ => 0,
+    }
+}

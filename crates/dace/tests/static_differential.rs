@@ -1,0 +1,285 @@
+//! Differential tests between the static protocol verifier and the dynamic
+//! happens-before checker.
+//!
+//! The guarantee under test (the PR's acceptance bar): **every diagnostic
+//! the dynamic checker reports on the lowered test corpus is also reported
+//! statically**, with the same `DiagKind` and the same array/signal
+//! endpoints. The converse need not hold — the static verifier also proves
+//! schedule-independent properties (stale halo reads, counter skew) that no
+//! single execution exposes.
+
+mod fixtures;
+
+use dace_sim::lower::{run_persistent_checked, CheckedRun, LowerError};
+use dace_sim::programs::{Jacobi1dSetup, Jacobi2dSetup};
+use dace_sim::transform::to_cpu_free;
+use dace_sim::verify::{verify_sdfg, StaticDiag, VerifyReport};
+use dace_sim::Bindings;
+use gpu_sim::{Diagnostic, TopologyKind};
+use sim_des::DiagKind;
+
+/// Run one fixture under the dynamic checker (ungated, so known-bad
+/// programs actually execute).
+fn run_checked(sdfg: &dace_sim::Sdfg, topology: TopologyKind) -> CheckedRun {
+    run_persistent_checked(
+        sdfg,
+        2,
+        &Bindings::default(),
+        fixtures::trip(sdfg),
+        topology,
+        false,
+        &fixtures::zero_init(sdfg),
+    )
+    .expect("fixture must pass structural lowering legality")
+}
+
+/// Does a static diagnostic describe the same finding as a dynamic one?
+/// Same kind, and the dynamic message names the static diag's endpoints —
+/// the subject (array name or flag number) or the primary PE label.
+fn describes(s: &StaticDiag, d: &Diagnostic) -> bool {
+    if s.kind != d.kind {
+        return false;
+    }
+    let subject_hit = if let Some(flag) = s.subject.strip_prefix("flag #") {
+        d.message.contains(&format!("#{flag}")) || d.message.contains(&format!("flag {flag}"))
+    } else {
+        d.message.contains(&format!("`{}`", s.subject))
+            || d.message.contains(&format!("{}@", s.subject))
+    };
+    // The lowering names its persistent host agents `rank{pe}`, so accept
+    // either spelling of the PE endpoint.
+    let pe_hit = s.pe.is_some_and(|p| {
+        d.message.contains(&format!("pe{p}")) || d.message.contains(&format!("rank{p}"))
+    });
+    // A deadlock cascades: once one rank blocks forever, infrastructure
+    // agents (supervisor, barrier) starve on their own flags too. Those
+    // secondary lost signals are consequences of the statically-predicted
+    // root cause, not independent findings.
+    let cascade = s.kind == DiagKind::LostSignal && !d.message.contains("rank");
+    subject_hit || pe_hit || cascade
+}
+
+/// The differential guarantee for one program: every dynamic finding has a
+/// static counterpart.
+fn assert_dynamic_subset_of_static(report: &VerifyReport, run: &CheckedRun) {
+    for d in &run.report.diagnostics {
+        assert!(
+            report.diags.iter().any(|s| describes(s, d)),
+            "dynamic diagnostic not statically predicted for `{}`:\n  dynamic: {d}\n  static report:\n{report}",
+            report.program
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-conforming fixtures: dynamic findings ⊆ static findings
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unmatched_wait_dynamic_deadlock_is_statically_predicted() {
+    let sdfg = fixtures::unmatched_wait();
+    let report = verify_sdfg(&sdfg, 2, &Bindings::default());
+    let run = run_checked(&sdfg, TopologyKind::NvlinkAllToAll);
+    assert!(run.deadlocked, "pe0's wait can never complete");
+    assert!(
+        run.report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == DiagKind::LostSignal),
+        "deadlocked checked run reports the lost signal:\n{}",
+        run.report
+    );
+    assert_dynamic_subset_of_static(&report, &run);
+}
+
+#[test]
+fn nbi_reuse_dynamic_race_is_statically_predicted() {
+    let sdfg = fixtures::nbi_reuse();
+    let report = verify_sdfg(&sdfg, 2, &Bindings::default());
+    let run = run_checked(&sdfg, TopologyKind::NvlinkAllToAll);
+    assert!(!run.deadlocked, "the protocol completes — it is just racy");
+    assert!(
+        run.report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == DiagKind::NbiSourceReuse),
+        "dynamic checker must observe the source overwrite:\n{}",
+        run.report
+    );
+    assert_dynamic_subset_of_static(&report, &run);
+}
+
+#[test]
+fn halo_gap_is_static_only() {
+    // A stale read is not a data race — no write ever touches the uncovered
+    // cell, so the dynamic checker has nothing to flag. Only the static
+    // verifier catches this class of bug (the differential inclusion holds
+    // vacuously).
+    let sdfg = fixtures::halo_gap();
+    let report = verify_sdfg(&sdfg, 2, &Bindings::default());
+    assert_eq!(report.of_kind(DiagKind::HaloCoverageGap).len(), 1);
+    let run = run_checked(&sdfg, TopologyKind::NvlinkAllToAll);
+    assert!(!run.deadlocked);
+    assert_dynamic_subset_of_static(&report, &run);
+}
+
+#[test]
+fn one_sided_throttle_diverges_both_ways() {
+    let sdfg = fixtures::one_sided_throttle();
+    let report = verify_sdfg(&sdfg, 2, &Bindings::default());
+    assert_eq!(report.of_kind(DiagKind::IterationDivergence).len(), 1);
+    // Cross-node NIC latency dwarfs put-issue cost, so pe0 outruns pe1 far
+    // enough for the runtime throttle check to fire too.
+    let run = run_checked(&sdfg, TopologyKind::TwoNode);
+    assert!(!run.deadlocked);
+    assert!(
+        run.report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == DiagKind::IterationDivergence),
+        "put issue is much cheaper than delivery, so pe0 must outrun pe1:\n{}",
+        run.report
+    );
+    assert_dynamic_subset_of_static(&report, &run);
+}
+
+#[test]
+fn storage_violation_matches_lowering_legality() {
+    // Both layers reject a put into non-symmetric storage, just at
+    // different stages: the static verifier as `StorageClassViolation`, the
+    // lowering pipeline as `PutTargetNotSymmetric` (its structural legality
+    // runs before the verify gate, so it wins the race to report).
+    let sdfg = fixtures::bad_storage();
+    let report = verify_sdfg(&sdfg, 2, &Bindings::default());
+    let static_diags = report.of_kind(DiagKind::StorageClassViolation);
+    assert_eq!(static_diags.len(), 1);
+    assert_eq!(static_diags[0].subject, "G");
+    let err = run_persistent_checked(
+        &sdfg,
+        2,
+        &Bindings::default(),
+        fixtures::trip(&sdfg),
+        TopologyKind::NvlinkAllToAll,
+        false,
+        &fixtures::zero_init(&sdfg),
+    )
+    .expect_err("non-symmetric put target must not lower");
+    match err {
+        LowerError::PutTargetNotSymmetric(array) => assert_eq!(array, "G"),
+        other => panic!("expected PutTargetNotSymmetric, got: {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The verify gate in production configuration
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gated_run_rejects_nonconforming_fixtures() {
+    for (sdfg, expected) in [
+        (fixtures::unmatched_wait(), DiagKind::UnmatchedSignalWait),
+        (fixtures::nbi_reuse(), DiagKind::NbiSourceReuse),
+        (fixtures::halo_gap(), DiagKind::HaloCoverageGap),
+        (
+            fixtures::one_sided_throttle(),
+            DiagKind::IterationDivergence,
+        ),
+    ] {
+        let err = run_persistent_checked(
+            &sdfg,
+            2,
+            &Bindings::default(),
+            fixtures::trip(&sdfg),
+            TopologyKind::NvlinkAllToAll,
+            true,
+            &fixtures::zero_init(&sdfg),
+        )
+        .expect_err("gate must reject the fixture before anything runs");
+        match err {
+            LowerError::ProtocolViolation(v) => {
+                assert!(
+                    v.report.diags.iter().any(|d| d.kind == expected),
+                    "`{}`: expected {expected:?} in gate report:\n{}",
+                    sdfg.name,
+                    v.report
+                );
+                // The error chain exposes the verification failure.
+                let err = LowerError::ProtocolViolation(v.clone());
+                let source = std::error::Error::source(&err)
+                    .expect("ProtocolViolation carries its report as source");
+                assert!(source.to_string().contains(&sdfg.name));
+            }
+            other => panic!("`{}`: expected ProtocolViolation, got: {other}", sdfg.name),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shipped programs: clean statically AND dynamically, on every topology
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shipped_jacobi1d_clean_on_all_topologies() {
+    let setup = Jacobi1dSetup::new(6, 3, 2);
+    let user = setup.user_bindings();
+    let mut sdfg = setup.sdfg.clone();
+    to_cpu_free(&mut sdfg).unwrap();
+    assert!(verify_sdfg(&sdfg, setup.n_pes, &user).clean());
+    for topology in TopologyKind::ALL {
+        let run = run_persistent_checked(
+            &sdfg,
+            setup.n_pes,
+            &user,
+            setup.tsteps,
+            topology,
+            true,
+            &|pe, a| setup.init_local(pe, a),
+        )
+        .unwrap();
+        assert!(!run.deadlocked, "{topology:?}: deadlocked");
+        assert!(
+            run.report.clean(),
+            "{topology:?}: dynamic findings on a verified-clean program:\n{}",
+            run.report
+        );
+        // The checked run still computes the right field.
+        let lowered = run.lowered.expect("completed");
+        let gathered = setup.gather(&lowered.finals["A"]);
+        let reference = setup.reference();
+        assert_eq!(gathered, reference, "{topology:?}: numerics drifted");
+    }
+}
+
+#[test]
+fn shipped_jacobi2d_clean_on_all_topologies() {
+    let setup = Jacobi2dSetup::new(4, 4, 2, 4);
+    let user = setup.user_bindings();
+    let mut sdfg = setup.sdfg.clone();
+    to_cpu_free(&mut sdfg).unwrap();
+    assert!(verify_sdfg(&sdfg, setup.n_pes, &user).clean());
+    for topology in TopologyKind::ALL {
+        let run = run_persistent_checked(
+            &sdfg,
+            setup.n_pes,
+            &user,
+            setup.tsteps,
+            topology,
+            true,
+            &|pe, a| setup.init_local(pe, a),
+        )
+        .unwrap();
+        assert!(!run.deadlocked, "{topology:?}: deadlocked");
+        assert!(
+            run.report.clean(),
+            "{topology:?}: dynamic findings on a verified-clean program:\n{}",
+            run.report
+        );
+        let lowered = run.lowered.expect("completed");
+        let gathered = setup.gather(&lowered.finals["A"]);
+        assert_eq!(
+            gathered,
+            setup.reference(),
+            "{topology:?}: numerics drifted"
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Negative-path and property tests for the static protocol verifier:
+//! each hand-built non-conforming SDFG must produce exactly the expected
+//! `DiagKind` naming both endpoints, and the transform pipeline's outputs
+//! must always verify clean.
+
+mod fixtures;
+
+use dace_sim::expr::Expr;
+use dace_sim::ir::{
+    ArrayDecl, Cf, GuardedOp, MapOp, Op, Schedule, Sdfg, State, Storage, TaskletKind,
+};
+use dace_sim::programs::{Jacobi1dSetup, Jacobi2dSetup};
+use dace_sim::transform::{
+    gpu_persistent_kernel, gpu_transform, map_fusion, mpi_to_nvshmem_with, nvshmem_array,
+    to_cpu_free, PutGranularity,
+};
+use dace_sim::verify::verify_sdfg;
+use dace_sim::Bindings;
+use sim_des::DiagKind;
+
+// ---------------------------------------------------------------------------
+// Negative paths: one fixture per check family
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unmatched_wait_yields_unmatched_and_lost() {
+    let sdfg = fixtures::unmatched_wait();
+    let report = verify_sdfg(&sdfg, 2, &Bindings::default());
+    let mut kinds: Vec<DiagKind> = report.diags.iter().map(|d| d.kind).collect();
+    kinds.sort_by_key(|k| format!("{k}"));
+    assert_eq!(
+        kinds,
+        vec![DiagKind::LostSignal, DiagKind::UnmatchedSignalWait],
+        "unexpected diagnostic set:\n{report}"
+    );
+    for d in &report.diags {
+        assert_eq!(d.pe, Some(0), "waiter endpoint: {d}");
+        assert_eq!(d.subject, "flag #7", "subject: {d}");
+        assert!(d.message.contains("pe0"), "message names the waiter: {d}");
+    }
+}
+
+#[test]
+fn nbi_source_overwrite_before_ack_is_flagged() {
+    let sdfg = fixtures::nbi_reuse();
+    let report = verify_sdfg(&sdfg, 2, &Bindings::default());
+    assert_eq!(
+        report.diags.len(),
+        1,
+        "expected exactly one diag:\n{report}"
+    );
+    let d = &report.diags[0];
+    assert_eq!(d.kind, DiagKind::NbiSourceReuse);
+    assert_eq!(d.pe, Some(0), "writer endpoint: {d}");
+    assert_eq!(d.peer, Some(1), "put target endpoint: {d}");
+    assert_eq!(d.subject, "A");
+    assert!(
+        d.message.contains("pe0") && d.message.contains("pe1") && d.message.contains("`A`"),
+        "message names both endpoints and the array: {d}"
+    );
+}
+
+#[test]
+fn nbi_reuse_fixture_is_clean_with_quiet_before_write() {
+    // Moving the ack wait in front of the overwrite (swap the last two
+    // states) makes the same program conforming — the diagnostic really is
+    // about ordering, not about the put itself.
+    let mut sdfg = fixtures::nbi_reuse();
+    if let Some(Cf::Loop { body, .. }) = sdfg.body.first_mut() {
+        body.swap(1, 2);
+    }
+    let report = verify_sdfg(&sdfg, 2, &Bindings::default());
+    assert!(report.clean(), "reordered fixture should verify:\n{report}");
+}
+
+#[test]
+fn halo_put_undercovering_reads_is_flagged() {
+    let sdfg = fixtures::halo_gap();
+    let report = verify_sdfg(&sdfg, 2, &Bindings::default());
+    assert_eq!(
+        report.diags.len(),
+        1,
+        "expected exactly one diag:\n{report}"
+    );
+    let d = &report.diags[0];
+    assert_eq!(d.kind, DiagKind::HaloCoverageGap);
+    assert_eq!(d.pe, Some(1), "consumer endpoint: {d}");
+    assert_eq!(d.peer, Some(0), "producer endpoint: {d}");
+    assert_eq!(d.subject, "A");
+    assert!(
+        d.message.contains("pe1") && d.message.contains("pe0") && d.message.contains("`A`"),
+        "message names both endpoints and the array: {d}"
+    );
+}
+
+#[test]
+fn put_to_non_symmetric_array_is_flagged() {
+    let sdfg = fixtures::bad_storage();
+    let report = verify_sdfg(&sdfg, 2, &Bindings::default());
+    assert_eq!(
+        report.diags.len(),
+        1,
+        "expected exactly one diag:\n{report}"
+    );
+    let d = &report.diags[0];
+    assert_eq!(d.kind, DiagKind::StorageClassViolation);
+    assert_eq!(d.pe, Some(0), "issuer endpoint: {d}");
+    assert_eq!(d.peer, Some(1), "target endpoint: {d}");
+    assert_eq!(d.subject, "G");
+    assert!(
+        d.message.contains("pe0") && d.message.contains("pe1") && d.message.contains("`G`"),
+        "message names both endpoints and the array: {d}"
+    );
+}
+
+#[test]
+fn unthrottled_producer_is_flagged() {
+    let sdfg = fixtures::one_sided_throttle();
+    let report = verify_sdfg(&sdfg, 2, &Bindings::default());
+    assert_eq!(
+        report.diags.len(),
+        1,
+        "expected exactly one diag:\n{report}"
+    );
+    let d = &report.diags[0];
+    assert_eq!(d.kind, DiagKind::IterationDivergence);
+    assert_eq!(d.pe, Some(0));
+    assert_eq!(d.peer, Some(1));
+    assert!(
+        d.message.contains("pe0") && d.message.contains("pe1"),
+        "message names the pair: {d}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property: map_fusion is idempotent
+// ---------------------------------------------------------------------------
+
+/// A state with two adjacent fusable maps: independent (disjoint arrays),
+/// same range, same schedule, no guards. The shipped programs keep their
+/// sweeps in separate states, so exercise the fusion path explicitly.
+fn two_sweep_sdfg(points: i64) -> Sdfg {
+    let sweep = |name: &str, src: &str, dst: &str| {
+        GuardedOp::new(Op::Map(MapOp {
+            name: name.into(),
+            schedule: Schedule::GpuDevice,
+            range: vec![("i".into(), Expr::c(1), Expr::c(points))],
+            tasklet: TaskletKind::Jacobi1d {
+                src: src.into(),
+                dst: dst.into(),
+            },
+        }))
+    };
+    Sdfg {
+        name: "two_sweeps".into(),
+        symbols: vec![],
+        derived: vec![],
+        arrays: ["A", "B", "C", "D"]
+            .iter()
+            .map(|n| ArrayDecl {
+                name: (*n).into(),
+                shape: vec![Expr::c(points + 2)],
+                storage: Storage::Gpu,
+            })
+            .collect(),
+        body: vec![Cf::State(State {
+            name: "sweeps".into(),
+            ops: vec![sweep("first", "A", "B"), sweep("second", "C", "D")],
+        })],
+    }
+}
+
+#[test]
+fn map_fusion_is_idempotent() {
+    for points in [2, 8, 33] {
+        let mut sdfg = two_sweep_sdfg(points);
+        let first = map_fusion(&mut sdfg);
+        assert_eq!(first, 1, "points={points}: two fusable maps fuse once");
+        let after_first = format!("{sdfg:?}");
+        let second = map_fusion(&mut sdfg);
+        assert_eq!(second, 0, "points={points}: second pass finds nothing");
+        assert_eq!(
+            format!("{sdfg:?}"),
+            after_first,
+            "points={points}: second pass must not change the SDFG"
+        );
+    }
+    // Also on the shipped programs, transformed or not.
+    for n_pes in [1, 4] {
+        let mut sdfg = Jacobi1dSetup::new(8, 3, n_pes).sdfg;
+        gpu_transform(&mut sdfg);
+        let first = map_fusion(&mut sdfg);
+        let snapshot = format!("{sdfg:?}");
+        assert_eq!(map_fusion(&mut sdfg), 0, "first pass fused {first}");
+        assert_eq!(format!("{sdfg:?}"), snapshot);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: transform outputs always pass the static verifier
+// ---------------------------------------------------------------------------
+
+#[test]
+fn to_cpu_free_outputs_verify_clean_on_seeded_1d_variants() {
+    for chunk in [4, 8, 16] {
+        for tsteps in [1, 2, 5] {
+            for n_pes in [1, 2, 3, 4] {
+                let setup = Jacobi1dSetup::new(chunk, tsteps, n_pes);
+                let user = setup.user_bindings();
+                let mut sdfg = setup.sdfg;
+                to_cpu_free(&mut sdfg).unwrap();
+                let report = verify_sdfg(&sdfg, n_pes, &user);
+                assert!(
+                    report.clean(),
+                    "chunk={chunk} T={tsteps} n_pes={n_pes}:\n{report}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn to_cpu_free_outputs_verify_clean_on_seeded_2d_variants() {
+    for (rows, cols) in [(4, 4), (2, 6), (8, 4)] {
+        for n_pes in [1, 2, 4, 8] {
+            let setup = Jacobi2dSetup::new(rows, cols, 3, n_pes);
+            let user = setup.user_bindings();
+            let mut sdfg = setup.sdfg;
+            to_cpu_free(&mut sdfg).unwrap();
+            let report = verify_sdfg(&sdfg, n_pes, &user);
+            assert!(
+                report.clean(),
+                "rows={rows} cols={cols} n_pes={n_pes}:\n{report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn block_granularity_pipeline_verifies_clean() {
+    for n_pes in [2, 4] {
+        let setup = Jacobi1dSetup::new(8, 3, n_pes);
+        let user = setup.user_bindings();
+        let mut sdfg = setup.sdfg;
+        gpu_transform(&mut sdfg);
+        mpi_to_nvshmem_with(&mut sdfg, PutGranularity::Block).unwrap();
+        nvshmem_array(&mut sdfg);
+        gpu_persistent_kernel(&mut sdfg).unwrap();
+        let report = verify_sdfg(&sdfg, n_pes, &user);
+        assert!(report.clean(), "n_pes={n_pes}:\n{report}");
+    }
+}

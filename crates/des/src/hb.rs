@@ -168,6 +168,22 @@ pub enum DiagKind {
     LostSignal,
     /// Neighboring PEs' iteration counters diverged by more than 1.
     IterationDivergence,
+    /// A `signal_wait` with no structurally matching producer (wrong flag,
+    /// wrong target PE, or a counter value the producers never reach), or a
+    /// signal set that no PE ever waits on. Static-analysis vocabulary; the
+    /// dynamic checker reports the runtime shadow of these as
+    /// [`DiagKind::LostSignal`].
+    UnmatchedSignalWait,
+    /// A consumer tasklet reads remote-fed (halo) cells that no producer put
+    /// covers: the cells would hold stale data on every schedule.
+    HaloCoverageGap,
+    /// A symmetric-heap operation (put/get) targeting an array whose storage
+    /// class is not `GpuNvshmem` — the remote side has no such allocation.
+    StorageClassViolation,
+    /// A cycle of `signal_wait`s across PEs in which every wait's sole
+    /// producer sits behind the next wait: a guaranteed deadlock on all
+    /// schedules.
+    WaitCycle,
 }
 
 impl fmt::Display for DiagKind {
@@ -177,6 +193,10 @@ impl fmt::Display for DiagKind {
             DiagKind::NbiSourceReuse => "nbi source reuse",
             DiagKind::LostSignal => "lost signal",
             DiagKind::IterationDivergence => "iteration divergence",
+            DiagKind::UnmatchedSignalWait => "unmatched signal wait",
+            DiagKind::HaloCoverageGap => "halo coverage gap",
+            DiagKind::StorageClassViolation => "storage class violation",
+            DiagKind::WaitCycle => "wait cycle",
         };
         f.write_str(s)
     }

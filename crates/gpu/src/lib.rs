@@ -42,7 +42,9 @@ pub use host::HostCtx;
 pub use kernel::{BlockGroup, CoopKernel, GridInfo, KernelBody, KernelCtx};
 pub use machine::{ExecMode, Machine};
 pub use mem::{Buf, DevId, Place};
-pub use sim_des::{CrashFault, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault};
+pub use sim_des::{
+    CrashFault, DiagKind, Diagnostic, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault,
+};
 pub use stream::Stream;
 pub use topo::{Endpoint, Link, Topology, TopologyKind, Transport};
 

@@ -262,6 +262,42 @@ impl ShmemCtx {
         }
     }
 
+    /// Record a strided transfer's effects element-exactly. A bounding-span
+    /// record would overlap the untouched cells *between* the strides and
+    /// report false races against concurrent accesses to them (e.g. the
+    /// interleaved column exchanges of a 2D halo).
+    #[allow(clippy::too_many_arguments)]
+    fn record_sync_copy_strided(
+        &self,
+        ctx: &KernelCtx<'_>,
+        dst: &Buf,
+        (dst_off, dst_stride): (usize, usize),
+        src: &Buf,
+        (src_off, src_stride): (usize, usize),
+        count: usize,
+        label: &str,
+    ) {
+        if let Some(chk) = &self.checker {
+            let agent = ctx.agent();
+            if src_stride <= 1 {
+                chk.record(agent, src, src_off, src_off + count, false, label);
+            } else {
+                for k in 0..count {
+                    let c = src_off + k * src_stride;
+                    chk.record(agent, src, c, c + 1, false, label);
+                }
+            }
+            if dst_stride <= 1 {
+                chk.record(agent, dst, dst_off, dst_off + count, true, label);
+            } else {
+                for k in 0..count {
+                    let c = dst_off + k * dst_stride;
+                    chk.record(agent, dst, c, c + 1, true, label);
+                }
+            }
+        }
+    }
+
     /// This PE's rank (`nvshmem_my_pe`).
     pub fn my_pe(&self) -> usize {
         self.pe
@@ -725,13 +761,13 @@ impl ShmemCtx {
         ctx.busy(Category::Comm, format!("iput->pe{pe} {count}el"), dur);
         dst.local(pe)
             .copy_strided_from(dst_off, dst_stride, src, src_off, src_stride, count);
-        // Conservative footprint: the whole strided span (supersets race).
-        self.record_sync_copy(
+        self.record_sync_copy_strided(
             ctx,
             dst.local(pe),
-            (dst_off, dst_off + (count - 1) * dst_stride + 1),
+            (dst_off, dst_stride),
             src,
-            (src_off, src_off + (count - 1) * src_stride + 1),
+            (src_off, src_stride),
+            count,
             "iput",
         );
     }
@@ -773,12 +809,13 @@ impl ShmemCtx {
             src_stride,
             count,
         );
-        self.record_sync_copy(
+        self.record_sync_copy_strided(
             ctx,
             dst,
-            (dst_off, dst_off + (count - 1) * dst_stride + 1),
+            (dst_off, dst_stride),
             src.local(pe),
-            (src_off, src_off + (count - 1) * src_stride + 1),
+            (src_off, src_stride),
+            count,
             "iget",
         );
     }

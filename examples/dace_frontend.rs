@@ -10,7 +10,22 @@
 use cpufree::dace_sim::lower::{run_discrete, run_persistent};
 use cpufree::dace_sim::programs::Jacobi2dSetup;
 use cpufree::dace_sim::transform::{gpu_transform, to_cpu_free};
+use cpufree::dace_sim::verify::verify_sdfg;
+use cpufree::dace_sim::Sdfg;
 use cpufree::prelude::*;
+
+/// Statically verify `sdfg` and print the outcome; a diagnostic here means
+/// the program (or a transformation) broke the CPU-Free protocol, so don't
+/// lower it.
+fn verify_or_die(label: &str, sdfg: &Sdfg, setup: &Jacobi2dSetup) {
+    let report = verify_sdfg(sdfg, setup.n_pes, &setup.user_bindings());
+    if report.clean() {
+        println!("static verification [{label}]: clean");
+    } else {
+        eprintln!("static verification [{label}] FAILED:\n{report}");
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let setup = Jacobi2dSetup::new(6, 8, 4, 4);
@@ -18,10 +33,12 @@ fn main() {
         "baseline program (as built by the frontend):\n{}\n",
         setup.sdfg
     );
+    verify_or_die("frontend", &setup.sdfg, &setup);
 
     // ---- CPU-controlled path: just port to GPU (GPUTransform) ----
     let mut baseline = setup.sdfg.clone();
     gpu_transform(&mut baseline);
+    verify_or_die("gpu_transform", &baseline, &setup);
     let b = run_discrete(
         &baseline,
         setup.n_pes,
@@ -36,6 +53,7 @@ fn main() {
     let mut cpufree = setup.sdfg.clone();
     to_cpu_free(&mut cpufree).expect("transformation pipeline");
     println!("after the CPU-Free pipeline:\n{cpufree}\n");
+    verify_or_die("to_cpu_free", &cpufree, &setup);
     let c = run_persistent(
         &cpufree,
         setup.n_pes,
