@@ -12,9 +12,14 @@
 
 use cpufree_bench::*;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Set once in `main` when `--json` is passed.
 static JSON: AtomicBool = AtomicBool::new(false);
+
+/// Every `(figure, body)` written this run, in emission order — folded into
+/// the aggregate `BENCH_figures.json` at the end of a full `--json` run.
+static COLLECTED: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -82,8 +87,31 @@ fn write_json(name: &str, body: String) {
     if !JSON.load(Ordering::Relaxed) {
         return;
     }
-    let path = format!("BENCH_{name}.json");
-    std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    // Figure labels carry spaces and `/` (e.g. "weak scaling 256^3/GPU");
+    // flatten to a filesystem- and JSON-key-safe slug.
+    let slug: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = format!("BENCH_{slug}.json");
+    std::fs::write(&path, &body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("[wrote {path}]");
+    COLLECTED.lock().unwrap().push((slug, body));
+}
+
+/// Fold every figure emitted this run into one `BENCH_figures.json` keyed by
+/// figure slug. All embedded data is virtual-time (nanoseconds from the
+/// deterministic engine), so regenerating the file is byte-identical — CI
+/// diffs it against the committed copy.
+fn write_aggregate_json() {
+    let collected = COLLECTED.lock().unwrap();
+    let items: Vec<String> = collected
+        .iter()
+        .map(|(name, body)| format!("  \"{name}\": {}", body.trim_end().replace('\n', "\n  ")))
+        .collect();
+    let path = "BENCH_figures.json";
+    std::fs::write(path, format!("{{\n{}\n}}\n", items.join(",\n")))
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("[wrote {path}]");
 }
 
@@ -379,6 +407,93 @@ fn check() {
     println!(" the factor is host wall clock, paid only when a run opts in)");
 }
 
+/// `figures chaos [--seeds N]`: run the deterministic chaos engine — the
+/// full fault-schedule sweep plus the seeded-violation shrink demo. Writes
+/// the byte-deterministic report to `target/chaos_report/report.txt` and a
+/// replayable reproducer JSON for the demo and for every violating case,
+/// then exits nonzero unless the sweep is clean and the demo reproduced.
+fn chaos(seeds: u64) -> i32 {
+    use cpufree_bench::chaos::*;
+    println!("== Deterministic chaos sweep — {seeds} seeds x 4 topologies x 2 workloads ==");
+    let report = chaos_sweep(seeds, true);
+    let dir = std::path::Path::new("target/chaos_report");
+    std::fs::create_dir_all(dir).expect("create target/chaos_report");
+    let path = dir.join("report.txt");
+    std::fs::write(&path, report.render())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+
+    // Reproducers: every violating sweep case, plus the demo's injected and
+    // minimized plans.
+    for case in report.violations() {
+        let p = dir.join(format!("repro_{}.json", case.id));
+        let doc = reproducer_json(case.workload, case.topology, &case.plan);
+        std::fs::write(&p, doc).unwrap_or_else(|e| panic!("writing {}: {e}", p.display()));
+        println!("[wrote {}]", p.display());
+    }
+    if let Some(demo) = &report.demo {
+        let p = dir.join("repro_seeded_violation.json");
+        let doc = reproducer_json(demo.workload, demo.topology, &demo.original);
+        std::fs::write(&p, doc).unwrap_or_else(|e| panic!("writing {}: {e}", p.display()));
+        let p = dir.join("repro_seeded_violation_minimal.json");
+        std::fs::write(&p, &demo.reproducer)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", p.display()));
+        println!("[wrote {}]", p.display());
+    }
+
+    // Console summary: the outcome counts and demo section of the report.
+    let text = report.render();
+    let per_case = text.find("per-case outcomes:").unwrap_or(0);
+    let tail = text.find("violations").unwrap_or(text.len());
+    print!("{}", &text[..per_case]);
+    print!("{}", &text[tail..]);
+    println!("[wrote {}]", path.display());
+
+    write_json(
+        "chaos",
+        format!(
+            "{{\n  \"seeds\": {seeds},\n  \"schedules\": {},\n  \"violations\": {},\n  \
+             \"demo_reproduced\": {}\n}}\n",
+            report.cases.len(),
+            report.violations().len(),
+            report.demo.as_ref().is_some_and(|d| d.reproduced())
+        ),
+    );
+    if report.ok() {
+        0
+    } else {
+        eprintln!("chaos sweep FAILED — see {}", path.display());
+        1
+    }
+}
+
+/// `figures chaos-replay <path>`: re-run one reproducer file under the
+/// recovery oracles and print its classification.
+fn chaos_replay(path: &str) -> i32 {
+    use cpufree_bench::chaos::{outcome_line, replay};
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            return 1;
+        }
+    };
+    match replay(&doc) {
+        Ok((workload, topo, outcome)) => {
+            println!(
+                "{} @ {} -> {}",
+                workload.name(),
+                topo.name(),
+                outcome_line(&outcome)
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("replaying {path}: {e}");
+            1
+        }
+    }
+}
+
 /// `figures verify`: run the static protocol verifier over every shipped
 /// program at every pipeline stage and GPU count. Writes the full report to
 /// `target/verify_report/report.txt` and exits nonzero on any diagnostic,
@@ -422,10 +537,26 @@ fn main() {
         args.remove(i);
         JSON.store(true, Ordering::Relaxed);
     }
-    // `verify` is a gate, not a figure: run it alone and propagate its exit
-    // status.
+    // `verify`, `chaos`, and `chaos-replay` are gates, not figures: run
+    // them alone and propagate their exit status.
     if args.iter().any(|a| a == "verify") {
         std::process::exit(verify());
+    }
+    if let Some(i) = args.iter().position(|a| a == "chaos-replay") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("usage: figures chaos-replay <reproducer.json>");
+            std::process::exit(2);
+        };
+        std::process::exit(chaos_replay(path));
+    }
+    if args.iter().any(|a| a == "chaos") {
+        let seeds = args
+            .iter()
+            .position(|a| a == "--seeds")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cpufree_bench::chaos::DEFAULT_SEED_BUDGET);
+        std::process::exit(chaos(seeds));
     }
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a == name);
@@ -484,5 +615,8 @@ fn main() {
     if want("check") {
         check();
         println!();
+    }
+    if all && JSON.load(Ordering::Relaxed) {
+        write_aggregate_json();
     }
 }

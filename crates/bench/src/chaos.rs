@@ -1,0 +1,769 @@
+//! Deterministic chaos engine — the sweep driver.
+//!
+//! [`sim_des::chaos`] holds the pure-data half of the engine (the outcome
+//! taxonomy, the hand-rolled fault-plan JSON, the ddmin shrinker). This
+//! module can see the workloads, so it owns the other half: enumerate fault
+//! schedules ([`FaultPlan::from_seed`] seeds crossed with every
+//! [`TopologyKind`] preset and both fault-tolerant workloads), run each
+//! schedule with the happens-before checker enabled, and classify every
+//! outcome against the **recovery invariants**:
+//!
+//! 1. a completed run must reproduce the fault-free baseline bit for bit
+//!    (or, for degraded-mode schedules, the documented quorum result);
+//! 2. recovery must stay within [`RECOVERY_BUDGET_MULT`]× the fault-free
+//!    baseline's virtual time;
+//! 3. every non-completion must be *attributed* — a timeout/deadlock with a
+//!    wait-for graph, or a diagnostic naming the cause.
+//!
+//! Any violation is shrunk ([`sim_des::chaos::shrink`]) to a minimal
+//! reproducer and serialized as a single JSON file that
+//! `figures chaos-replay <path>` re-runs. The sweep itself is bit
+//! deterministic: the same seed budget renders a byte-identical report.
+
+use cpufree_solvers::{CgFtConfig, PoissonProblem};
+use sim_des::chaos::{
+    atoms, classify_error, plan_from_json, plan_to_json, shrink, string_field, ChaosOutcome,
+};
+use sim_des::{us, CrashFault, DropFault, FaultPlan, LinkFault, SimTime, StragglerFault};
+use stencil_lab::{DegradedConfig, FtConfig, StencilConfig};
+
+use gpu_sim::{ExecMode, TopologyKind};
+use sim_des::SimDur;
+
+/// Nodes (PEs / GPUs) in every chaos schedule.
+pub const CHAOS_NODES: usize = 4;
+/// Solver iterations per chaos run (small on purpose: the sweep runs
+/// hundreds of schedules in `Full` mode with the checker on).
+pub const CHAOS_ITERS: u64 = 10;
+/// Virtual-time horizon handed to [`FaultPlan::from_seed`], microseconds.
+pub const CHAOS_HORIZON_US: f64 = 400.0;
+/// Default seed budget of the sweep (`figures chaos` accepts `--seeds N`).
+/// 64 seeds × 4 topologies × 2 workloads = 512 seeded schedules, plus the
+/// degraded-mode cases and the seeded violation demo.
+pub const DEFAULT_SEED_BUDGET: u64 = 64;
+/// Recovery-time budget: a recovered run may take at most this multiple of
+/// the fault-free fault-tolerant baseline's virtual time before it counts
+/// as an `UnboundedRecovery` violation.
+pub const RECOVERY_BUDGET_MULT: f64 = 10.0;
+
+/// The fault-tolerant workloads the engine drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosWorkload {
+    /// 2D5pt Jacobi under the checkpoint/restart FT protocol.
+    Jacobi,
+    /// Distributed CG under the checkpoint/restart FT protocol.
+    Cg,
+}
+
+impl ChaosWorkload {
+    /// Both workloads, in report order.
+    pub const ALL: [ChaosWorkload; 2] = [ChaosWorkload::Jacobi, ChaosWorkload::Cg];
+
+    /// Stable name used in reports and reproducer files.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosWorkload::Jacobi => "jacobi",
+            ChaosWorkload::Cg => "cg",
+        }
+    }
+
+    /// Inverse of [`ChaosWorkload::name`].
+    pub fn from_name(name: &str) -> Option<ChaosWorkload> {
+        ChaosWorkload::ALL.into_iter().find(|w| w.name() == name)
+    }
+}
+
+/// Inverse of [`TopologyKind::name`] (reproducer files store the name).
+pub fn topology_from_name(name: &str) -> Option<TopologyKind> {
+    TopologyKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+/// The Jacobi problem every chaos schedule runs (tiny, `Full` mode, checker
+/// on): 64×62 grid, [`CHAOS_ITERS`] iterations, [`CHAOS_NODES`] PEs.
+pub fn jacobi_config(topo: TopologyKind) -> StencilConfig {
+    let mut cfg = StencilConfig::square2d(64, CHAOS_ITERS, CHAOS_NODES)
+        .with_topology(topo)
+        .with_check();
+    cfg.ny = 62; // 15 interior layers per PE
+    cfg
+}
+
+/// The CG problem every chaos schedule runs (tiny, `Full` mode, checker on).
+pub fn cg_problem(topo: TopologyKind) -> PoissonProblem {
+    PoissonProblem::new(64, 62, CHAOS_ITERS, CHAOS_NODES)
+        .with_topology(topo)
+        .with_check()
+}
+
+/// Fault-free reference measurements for one (workload, topology) cell.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Virtual completion time of the fault-free fault-tolerant run.
+    pub total: SimDur,
+    /// Result fingerprint: the Jacobi field checksum, or the CG
+    /// `final_rho` bits.
+    pub fingerprint: u64,
+}
+
+/// Run the fault-free fault-tolerant baseline for a (workload, topology)
+/// cell. Panics if the baseline itself fails — nothing downstream is
+/// meaningful then.
+pub fn baseline(workload: ChaosWorkload, topo: TopologyKind) -> Baseline {
+    match workload {
+        ChaosWorkload::Jacobi => {
+            let ex =
+                stencil_lab::run_cpu_free_ft(&FtConfig::new(jacobi_config(topo), FaultPlan::new()))
+                    .expect("fault-free jacobi baseline failed");
+            assert_eq!(ex.exec.max_err, Some(0.0), "jacobi baseline diverged");
+            Baseline {
+                total: ex.exec.total,
+                fingerprint: ex.exec.checksum,
+            }
+        }
+        ChaosWorkload::Cg => {
+            let prob = cg_problem(topo);
+            let ex = cpufree_solvers::run_cpu_free_ft(
+                &CgFtConfig::new(prob.clone(), FaultPlan::new()),
+                ExecMode::Full,
+            )
+            .expect("fault-free CG baseline failed");
+            assert_eq!(ex.result.verify(&prob), 0.0, "CG baseline diverged");
+            Baseline {
+                total: ex.result.total,
+                fingerprint: ex.result.final_rho.to_bits(),
+            }
+        }
+    }
+}
+
+fn budget_of(base: &Baseline) -> SimDur {
+    SimDur((base.total.as_nanos() as f64 * RECOVERY_BUDGET_MULT) as u64)
+}
+
+fn classify_completion(
+    total: SimDur,
+    base: &Baseline,
+    identical: bool,
+    divergence: String,
+) -> ChaosOutcome {
+    if !identical {
+        ChaosOutcome::SilentDivergence { detail: divergence }
+    } else if total > budget_of(base) {
+        ChaosOutcome::UnboundedRecovery {
+            detail: format!(
+                "total {total} exceeds {RECOVERY_BUDGET_MULT}x baseline {} (budget {})",
+                base.total,
+                budget_of(base)
+            ),
+        }
+    } else {
+        ChaosOutcome::CompletedIdentical
+    }
+}
+
+fn checker_outcome(report: &gpu_sim::CheckReport) -> Option<ChaosOutcome> {
+    if report.clean() {
+        None
+    } else {
+        Some(ChaosOutcome::AttributedDiagnostic {
+            detail: format!(
+                "checker raised {} diagnostic(s); first: {}",
+                report.diagnostics.len(),
+                report.diagnostics[0]
+            ),
+        })
+    }
+}
+
+/// Run one fault schedule through a workload's fault-tolerant runner and
+/// classify the outcome against the recovery invariants. Deterministic:
+/// the same `(workload, topo, plan)` always yields the same outcome.
+pub fn run_schedule(
+    workload: ChaosWorkload,
+    topo: TopologyKind,
+    plan: &FaultPlan,
+    base: &Baseline,
+) -> ChaosOutcome {
+    match workload {
+        ChaosWorkload::Jacobi => {
+            match stencil_lab::run_cpu_free_ft(&FtConfig::new(jacobi_config(topo), plan.clone())) {
+                Ok(ex) => {
+                    if let Some(out) = ex.exec.check.as_ref().and_then(checker_outcome) {
+                        return out;
+                    }
+                    let identical =
+                        ex.exec.checksum == base.fingerprint && ex.exec.max_err == Some(0.0);
+                    classify_completion(
+                        ex.exec.total,
+                        base,
+                        identical,
+                        format!(
+                            "checksum {:#018x} vs baseline {:#018x}, max_err {:?}",
+                            ex.exec.checksum, base.fingerprint, ex.exec.max_err
+                        ),
+                    )
+                }
+                Err(e) => classify_error(&e),
+            }
+        }
+        ChaosWorkload::Cg => {
+            let prob = cg_problem(topo);
+            match cpufree_solvers::run_cpu_free_ft(
+                &CgFtConfig::new(prob.clone(), plan.clone()),
+                ExecMode::Full,
+            ) {
+                Ok(ex) => {
+                    if let Some(out) = ex.result.check.as_ref().and_then(checker_outcome) {
+                        return out;
+                    }
+                    let err = ex.result.verify(&prob);
+                    let identical = ex.result.final_rho.to_bits() == base.fingerprint && err == 0.0;
+                    classify_completion(
+                        ex.result.total,
+                        base,
+                        identical,
+                        format!(
+                            "final_rho bits {:#018x} vs baseline {:#018x}, verify err {err:e}",
+                            ex.result.final_rho.to_bits(),
+                            base.fingerprint
+                        ),
+                    )
+                }
+                Err(e) => classify_error(&e),
+            }
+        }
+    }
+}
+
+/// Run one schedule through a workload's **degraded-mode** runner (no
+/// checkpoint/restart: link kills reroute, a crashed PE drops out and the
+/// surviving quorum completes) and classify against the degraded oracles.
+pub fn run_degraded_schedule(
+    workload: ChaosWorkload,
+    topo: TopologyKind,
+    plan: &FaultPlan,
+) -> ChaosOutcome {
+    match workload {
+        ChaosWorkload::Jacobi => {
+            let base = StencilConfig::square2d(32, 8, CHAOS_NODES).with_topology(topo);
+            match stencil_lab::run_cpu_free_degraded(&DegradedConfig::new(base, plan.clone())) {
+                Ok(ex) => degraded_outcome(
+                    ex.quorum.clone(),
+                    ex.max_err == Some(0.0),
+                    format!("degraded max_err {:?} (quorum {:?})", ex.max_err, ex.quorum),
+                ),
+                Err(e) => classify_error(&e),
+            }
+        }
+        ChaosWorkload::Cg => {
+            let prob = PoissonProblem::new(18, 18, 8, CHAOS_NODES).with_topology(topo);
+            match cpufree_solvers::run_cpu_free_degraded(&prob, plan, ExecMode::Full, None) {
+                Ok(ex) => {
+                    let err = ex.verify(&prob, plan);
+                    degraded_outcome(
+                        ex.quorum.clone(),
+                        err == 0.0,
+                        format!("degraded verify err {err:e} (quorum {:?})", ex.quorum),
+                    )
+                }
+                Err(e) => classify_error(&e),
+            }
+        }
+    }
+}
+
+fn degraded_outcome(quorum: Vec<usize>, exact: bool, divergence: String) -> ChaosOutcome {
+    if !exact {
+        ChaosOutcome::SilentDivergence { detail: divergence }
+    } else if quorum.len() == CHAOS_NODES {
+        ChaosOutcome::CompletedIdentical
+    } else {
+        ChaosOutcome::CompletedDegraded { quorum }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sweep
+// ---------------------------------------------------------------------------
+
+/// One classified schedule of the sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosCase {
+    /// Stable case id (also the reproducer file stem for violations).
+    pub id: String,
+    /// The workload driven.
+    pub workload: ChaosWorkload,
+    /// The topology preset.
+    pub topology: TopologyKind,
+    /// The fault schedule.
+    pub plan: FaultPlan,
+    /// The classified outcome.
+    pub outcome: ChaosOutcome,
+}
+
+/// The seeded-violation demonstration: a deliberately unreasonable fault
+/// plan that breaks the bounded-recovery invariant, shrunk to a minimal
+/// reproducer and replayed from its JSON serialization.
+#[derive(Debug, Clone)]
+pub struct ShrinkDemo {
+    /// Workload / topology the demo runs on.
+    pub workload: ChaosWorkload,
+    /// Topology preset of the demo.
+    pub topology: TopologyKind,
+    /// The injected plan.
+    pub original: FaultPlan,
+    /// Its classification (expected: `VIOLATION:unbounded-recovery`).
+    pub original_outcome: ChaosOutcome,
+    /// The ddmin-minimized, window-tightened plan.
+    pub shrunk: FaultPlan,
+    /// The minimized plan's classification (must match the original label).
+    pub shrunk_outcome: ChaosOutcome,
+    /// Oracle invocations the shrinker spent.
+    pub oracle_runs: usize,
+    /// The reproducer JSON of the minimized plan.
+    pub reproducer: String,
+    /// Outcome of re-running the schedule parsed back from `reproducer`.
+    pub replay_outcome: ChaosOutcome,
+}
+
+impl ShrinkDemo {
+    /// True when the shrunk plan and its JSON replay reproduce the original
+    /// violation label.
+    pub fn reproduced(&self) -> bool {
+        self.shrunk_outcome.label() == self.original_outcome.label()
+            && self.replay_outcome.label() == self.original_outcome.label()
+    }
+}
+
+/// Everything `figures chaos` reports.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Seed budget the sweep ran with.
+    pub seeds: u64,
+    /// Every classified schedule, in deterministic order.
+    pub cases: Vec<ChaosCase>,
+    /// The seeded-violation demo (absent when skipped).
+    pub demo: Option<ShrinkDemo>,
+}
+
+impl ChaosReport {
+    /// Sweep cases that violated a recovery invariant (the seeded demo is
+    /// tracked separately and intentionally violates).
+    pub fn violations(&self) -> Vec<&ChaosCase> {
+        self.cases
+            .iter()
+            .filter(|c| c.outcome.is_violation())
+            .collect()
+    }
+
+    /// True when the sweep is clean and the demo (if run) reproduced.
+    pub fn ok(&self) -> bool {
+        self.violations().is_empty() && self.demo.as_ref().is_none_or(ShrinkDemo::reproduced)
+    }
+
+    /// Render the full deterministic report (byte-identical across runs
+    /// with the same seed budget).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(s, "deterministic chaos sweep");
+        let _ = writeln!(
+            s,
+            "nodes={CHAOS_NODES} iterations={CHAOS_ITERS} horizon={CHAOS_HORIZON_US}us \
+             seeds={} budget={RECOVERY_BUDGET_MULT}x",
+            self.seeds
+        );
+        let _ = writeln!(s, "schedules explored: {}", self.cases.len());
+        let _ = writeln!(s);
+
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for c in &self.cases {
+            match counts.iter_mut().find(|(l, _)| *l == c.outcome.label()) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((c.outcome.label(), 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let _ = writeln!(s, "outcome counts:");
+        for (label, n) in &counts {
+            let _ = writeln!(s, "  {label:<32} {n}");
+        }
+        let _ = writeln!(s);
+
+        let _ = writeln!(s, "per-case outcomes:");
+        for c in &self.cases {
+            let _ = writeln!(s, "  {:<44} {}", c.id, outcome_line(&c.outcome));
+        }
+        let _ = writeln!(s);
+
+        let violations = self.violations();
+        if violations.is_empty() {
+            let _ = writeln!(s, "violations: none");
+        } else {
+            let _ = writeln!(s, "violations ({}):", violations.len());
+            for c in &violations {
+                let _ = writeln!(s, "  {:<44} {}", c.id, outcome_line(&c.outcome));
+                let _ = writeln!(s, "    plan: {}", describe_plan(&c.plan));
+            }
+        }
+        let _ = writeln!(s);
+
+        match &self.demo {
+            None => {
+                let _ = writeln!(s, "seeded violation demo: skipped");
+            }
+            Some(d) => {
+                let _ = writeln!(
+                    s,
+                    "seeded violation demo ({} @ {}):",
+                    d.workload.name(),
+                    d.topology.name()
+                );
+                let _ = writeln!(
+                    s,
+                    "  injected : {} fault(s) -> {}",
+                    atoms(&d.original).len(),
+                    outcome_line(&d.original_outcome)
+                );
+                let _ = writeln!(
+                    s,
+                    "  shrunk   : {} fault(s) after {} oracle runs -> {}",
+                    atoms(&d.shrunk).len(),
+                    d.oracle_runs,
+                    outcome_line(&d.shrunk_outcome)
+                );
+                let _ = writeln!(s, "  minimal plan: {}", describe_plan(&d.shrunk));
+                let _ = writeln!(
+                    s,
+                    "  replayed from JSON -> {}",
+                    outcome_line(&d.replay_outcome)
+                );
+                let _ = writeln!(
+                    s,
+                    "  reproduced: {} (minimal plan and JSON replay match the original label)",
+                    d.reproduced()
+                );
+            }
+        }
+        s
+    }
+}
+
+/// One-line rendering of an outcome: the label, plus the detail for
+/// anything but a plain identical completion.
+pub fn outcome_line(outcome: &ChaosOutcome) -> String {
+    match outcome {
+        ChaosOutcome::CompletedIdentical => outcome.label().to_string(),
+        ChaosOutcome::CompletedDegraded { quorum } => {
+            format!("{} quorum={quorum:?}", outcome.label())
+        }
+        ChaosOutcome::AttributedTimeout { detail }
+        | ChaosOutcome::AttributedDiagnostic { detail }
+        | ChaosOutcome::SilentDivergence { detail }
+        | ChaosOutcome::UnattributedHang { detail }
+        | ChaosOutcome::UnboundedRecovery { detail } => {
+            format!("{} ({detail})", outcome.label())
+        }
+    }
+}
+
+/// Compact human-readable fault list of a plan (report rendering).
+pub fn describe_plan(plan: &FaultPlan) -> String {
+    let mut parts = Vec::new();
+    for l in &plan.links {
+        if l.is_kill() {
+            parts.push(format!(
+                "kill link {}-{} from {}",
+                l.a,
+                l.b,
+                l.from.as_nanos()
+            ));
+        } else {
+            parts.push(format!(
+                "degrade link {}-{} [{}, {})ns lat x{} bw x{}",
+                l.a,
+                l.b,
+                l.from.as_nanos(),
+                l.until.as_nanos(),
+                l.latency_mult,
+                l.bandwidth_mult
+            ));
+        }
+    }
+    for d in &plan.drops {
+        parts.push(format!(
+            "drop {}->{} attempts {}..{}",
+            d.from,
+            d.to,
+            d.first_attempt,
+            d.first_attempt + d.count
+        ));
+    }
+    for c in &plan.crashes {
+        parts.push(format!("crash node {} @ iter {}", c.node, c.at_iteration));
+    }
+    for f in &plan.stragglers {
+        parts.push(format!(
+            "straggle node {} [{}, {})ns x{}",
+            f.node,
+            f.from.as_nanos(),
+            f.until.as_nanos(),
+            f.compute_mult
+        ));
+    }
+    if parts.is_empty() {
+        "(no faults)".to_string()
+    } else {
+        parts.join("; ")
+    }
+}
+
+/// The degraded-mode schedules appended to every (workload, topology) cell:
+/// a single-PE crash (quorum completion over healed collectives) and a
+/// single-link kill (transport reroutes; result stays bit-identical).
+pub fn degraded_plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "degraded-crash",
+            FaultPlan::new().with_crash(CrashFault {
+                node: 2,
+                at_iteration: 4,
+            }),
+        ),
+        (
+            "degraded-linkkill",
+            FaultPlan::new().with_link(LinkFault::kill(1, 2, SimTime::ZERO + us(10.0))),
+        ),
+    ]
+}
+
+/// Run the full sweep: `seeds` seeded schedules plus the degraded-mode
+/// schedules for every (workload, topology) cell. Pure — writes nothing.
+pub fn chaos_sweep_cases(seeds: u64) -> Vec<ChaosCase> {
+    let horizon = SimTime::ZERO + us(CHAOS_HORIZON_US);
+    let mut cases = Vec::new();
+    for workload in ChaosWorkload::ALL {
+        for topo in TopologyKind::ALL {
+            let base = baseline(workload, topo);
+            for seed in 0..seeds {
+                let plan = FaultPlan::from_seed(seed, CHAOS_NODES, horizon, CHAOS_ITERS);
+                let outcome = run_schedule(workload, topo, &plan, &base);
+                cases.push(ChaosCase {
+                    id: format!("{}_{}_seed{seed}", workload.name(), topo.name()),
+                    workload,
+                    topology: topo,
+                    plan,
+                    outcome,
+                });
+            }
+            for (label, plan) in degraded_plans() {
+                let outcome = run_degraded_schedule(workload, topo, &plan);
+                cases.push(ChaosCase {
+                    id: format!("{}_{}_{label}", workload.name(), topo.name()),
+                    workload,
+                    topology: topo,
+                    plan,
+                    outcome,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// The deliberately unreasonable plan of the seeded violation demo: a
+/// whole-run extreme link degradation (blows the bounded-recovery budget)
+/// plus two noise faults the shrinker must discard.
+pub fn seeded_violation_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_link(LinkFault {
+            a: 0,
+            b: 1,
+            from: SimTime::ZERO,
+            until: SimTime::ZERO + us(100_000.0),
+            latency_mult: 500.0,
+            bandwidth_mult: 0.01,
+        })
+        .with_drop(DropFault {
+            from: 2,
+            to: 3,
+            first_attempt: 2,
+            count: 2,
+        })
+        .with_straggler(StragglerFault {
+            node: 3,
+            from: SimTime::ZERO,
+            until: SimTime::ZERO + us(50.0),
+            compute_mult: 2.0,
+        })
+}
+
+/// Run the seeded-violation demo: classify [`seeded_violation_plan`],
+/// shrink it to a minimal reproducer with the same outcome label, and
+/// replay the reproducer from its JSON serialization.
+pub fn shrink_demo() -> ShrinkDemo {
+    let workload = ChaosWorkload::Jacobi;
+    let topo = TopologyKind::NvlinkAllToAll;
+    let base = baseline(workload, topo);
+    let original = seeded_violation_plan();
+    let original_outcome = run_schedule(workload, topo, &original, &base);
+    let target = original_outcome.label();
+    let mut oracle_runs = 0usize;
+    let shrunk = shrink(&original, &mut |candidate| {
+        oracle_runs += 1;
+        run_schedule(workload, topo, candidate, &base).label() == target
+    });
+    let shrunk_outcome = run_schedule(workload, topo, &shrunk, &base);
+    let reproducer = reproducer_json(workload, topo, &shrunk);
+    let replay_outcome = match reproducer_parse(&reproducer) {
+        Ok((w, t, plan)) => run_schedule(w, t, &plan, &baseline(w, t)),
+        Err(e) => ChaosOutcome::UnattributedHang {
+            detail: format!("reproducer failed to parse: {e}"),
+        },
+    };
+    ShrinkDemo {
+        workload,
+        topology: topo,
+        original,
+        original_outcome,
+        shrunk,
+        shrunk_outcome,
+        oracle_runs,
+        reproducer,
+        replay_outcome,
+    }
+}
+
+/// Run the complete chaos engine: the sweep plus (when `with_demo`) the
+/// seeded-violation shrink demo.
+pub fn chaos_sweep(seeds: u64, with_demo: bool) -> ChaosReport {
+    ChaosReport {
+        seeds,
+        cases: chaos_sweep_cases(seeds),
+        demo: with_demo.then(shrink_demo),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reproducer files
+// ---------------------------------------------------------------------------
+
+/// Serialize a replayable reproducer: the plan JSON with `workload` and
+/// `topology` tags in the same object ([`plan_from_json`] ignores them).
+pub fn reproducer_json(workload: ChaosWorkload, topo: TopologyKind, plan: &FaultPlan) -> String {
+    let body = plan_to_json(plan);
+    format!(
+        "{{\n  \"workload\": \"{}\",\n  \"topology\": \"{}\",\n{}",
+        workload.name(),
+        topo.name(),
+        &body[2..]
+    )
+}
+
+/// Parse a reproducer file back into its schedule.
+pub fn reproducer_parse(s: &str) -> Result<(ChaosWorkload, TopologyKind, FaultPlan), String> {
+    let w = string_field(s, "workload")?.ok_or("missing \"workload\"")?;
+    let workload =
+        ChaosWorkload::from_name(&w).ok_or_else(|| format!("unknown workload \"{w}\""))?;
+    let t = string_field(s, "topology")?.ok_or("missing \"topology\"")?;
+    let topo = topology_from_name(&t).ok_or_else(|| format!("unknown topology \"{t}\""))?;
+    let plan = plan_from_json(s)?;
+    Ok((workload, topo, plan))
+}
+
+/// Replay a reproducer document: re-run its schedule under the recovery
+/// oracles and return the (workload, topology, outcome) triple.
+pub fn replay(document: &str) -> Result<(ChaosWorkload, TopologyKind, ChaosOutcome), String> {
+    let (workload, topo, plan) = reproducer_parse(document)?;
+    let base = baseline(workload, topo);
+    let outcome = run_schedule(workload, topo, &plan, &base);
+    Ok((workload, topo, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducer_round_trips() {
+        let plan = seeded_violation_plan();
+        let doc = reproducer_json(ChaosWorkload::Cg, TopologyKind::PcieTree, &plan);
+        let (w, t, back) = reproducer_parse(&doc).expect("parse");
+        assert_eq!(w, ChaosWorkload::Cg);
+        assert_eq!(t, TopologyKind::PcieTree);
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn reproducer_rejects_unknown_tags() {
+        let plan = FaultPlan::new();
+        let doc = reproducer_json(ChaosWorkload::Jacobi, TopologyKind::TwoNode, &plan)
+            .replace("jacobi", "fortran");
+        assert!(reproducer_parse(&doc)
+            .unwrap_err()
+            .contains("unknown workload"));
+        let doc2 = plan_to_json(&plan);
+        assert!(reproducer_parse(&doc2).unwrap_err().contains("workload"));
+    }
+
+    #[test]
+    fn describe_plan_covers_every_fault_class() {
+        let plan = seeded_violation_plan()
+            .with_link(LinkFault::kill(0, 3, SimTime(7)))
+            .with_crash(CrashFault {
+                node: 1,
+                at_iteration: 2,
+            });
+        let text = describe_plan(&plan);
+        for needle in [
+            "degrade link 0-1",
+            "kill link 0-3",
+            "drop 2->3",
+            "crash node 1",
+            "straggle node 3",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+        assert_eq!(describe_plan(&FaultPlan::new()), "(no faults)");
+    }
+
+    #[test]
+    fn degraded_schedules_complete_with_documented_quorum() {
+        // One topology here (all four are covered by the sweep and the
+        // degraded crate tests); both workloads, both degraded plans.
+        let plans = degraded_plans();
+        for workload in ChaosWorkload::ALL {
+            let crash = run_degraded_schedule(workload, TopologyKind::NvlinkRing, &plans[0].1);
+            assert_eq!(
+                crash,
+                ChaosOutcome::CompletedDegraded {
+                    quorum: vec![0, 1, 3]
+                },
+                "{} crash case",
+                workload.name()
+            );
+            let kill = run_degraded_schedule(workload, TopologyKind::NvlinkRing, &plans[1].1);
+            assert_eq!(
+                kill,
+                ChaosOutcome::CompletedIdentical,
+                "{} kill case",
+                workload.name()
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_schedule_classifies_identically_twice() {
+        let base = baseline(ChaosWorkload::Jacobi, TopologyKind::PcieTree);
+        let plan = FaultPlan::from_seed(
+            3,
+            CHAOS_NODES,
+            SimTime::ZERO + us(CHAOS_HORIZON_US),
+            CHAOS_ITERS,
+        );
+        let a = run_schedule(ChaosWorkload::Jacobi, TopologyKind::PcieTree, &plan, &base);
+        let b = run_schedule(ChaosWorkload::Jacobi, TopologyKind::PcieTree, &plan, &base);
+        assert_eq!(a, b);
+        assert!(!a.is_violation(), "seeded schedule must recover: {a:?}");
+    }
+}

@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 use dace_sim::lower::{run_discrete, run_persistent};
 use dace_sim::programs::{Jacobi1dSetup, Jacobi2dSetup};
 use dace_sim::transform::{gpu_transform, to_cpu_free};

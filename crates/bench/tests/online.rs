@@ -1,0 +1,37 @@
+//! Quarantine zone for anything that needs the real network.
+//!
+//! Tier-1 must be clean on an offline machine: every test in the workspace
+//! runs against the deterministic simulator, never the outside world. Checks
+//! that genuinely need connectivity (e.g. validating the committed
+//! `BENCH_figures.json` against external plotting tooling, or fetching
+//! reference traces) belong here, double-gated:
+//!
+//! * behind the `online` cargo feature, so offline builds do not even
+//!   compile them, and
+//! * behind `#[ignore]`, so an online build still skips them unless
+//!   `-- --ignored` is passed explicitly.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p cpufree-bench --features online --test online -- --ignored
+//! ```
+
+#![cfg(feature = "online")]
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Connectivity canary: anything else in this file is meaningless without
+/// an outbound route, so check that first and fail with a clear message.
+#[test]
+#[ignore = "reaches the real network; run with --features online -- --ignored"]
+fn outbound_connectivity() {
+    let addr = "index.crates.io:443"
+        .to_socket_addrs()
+        .expect("DNS resolution failed — offline? run without --features online")
+        .next()
+        .expect("no address for index.crates.io");
+    TcpStream::connect_timeout(&addr, Duration::from_secs(10))
+        .expect("no outbound route — offline? run without --features online");
+}

@@ -1,0 +1,873 @@
+//! Deterministic chaos engineering: fault-plan serialization, outcome
+//! taxonomy, and schedule shrinking.
+//!
+//! The chaos engine (driven from the bench crate, which can see the
+//! workloads) systematically explores [`FaultPlan`] space and classifies
+//! every run against explicit **recovery invariants**:
+//!
+//! 1. **Bit-identical recovery** — a run that completes must produce the
+//!    exact result of the fault-free baseline (or, in degraded mode, the
+//!    documented quorum result);
+//! 2. **Bounded recovery time** — virtual completion time stays within a
+//!    stated budget of the baseline;
+//! 3. **No unattributed hang** — every non-completion must surface a
+//!    [`SimError::Timeout`]/[`SimError::Deadlock`] with a wait-for graph,
+//!    or a checker diagnostic (an [`SimError::AgentPanic`] carrying one).
+//!
+//! This module holds the *pure data* half of the engine: a hand-rolled JSON
+//! round-trip for [`FaultPlan`] (the workspace has no serde — reproducers
+//! must be replayable from a single file), the [`ChaosOutcome`] taxonomy
+//! every schedule is classified into, and [`shrink`] — a delta-debugging
+//! minimizer that reduces a failing plan to a 1-minimal fault list and then
+//! tightens injection windows, so every finding ships as a minimal
+//! replayable reproducer.
+
+use crate::engine::SimError;
+use crate::fault::{CrashFault, DropFault, FaultPlan, LinkFault, StragglerFault};
+use crate::time::SimTime;
+
+// ---------------------------------------------------------------------------
+// Outcome taxonomy
+// ---------------------------------------------------------------------------
+
+/// Classification of one fault schedule's run against the recovery
+/// invariants. The first four are acceptable outcomes; the rest are
+/// invariant violations the shrinker turns into minimal reproducers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosOutcome {
+    /// Completed with a result bit-identical to the fault-free baseline.
+    CompletedIdentical,
+    /// Completed in degraded mode: the surviving quorum (sorted PE ids)
+    /// produced the documented degraded result.
+    CompletedDegraded {
+        /// The PEs that contributed to the result, ascending.
+        quorum: Vec<usize>,
+    },
+    /// Did not complete, but the failure is attributed: a timeout or
+    /// deadlock with a wait-for graph.
+    AttributedTimeout {
+        /// Human-readable attribution (blocked agents / cycle).
+        detail: String,
+    },
+    /// Did not complete, but a diagnostic names the cause (checker
+    /// diagnostic, partition report, retry exhaustion, agent panic).
+    AttributedDiagnostic {
+        /// Human-readable diagnostic text.
+        detail: String,
+    },
+    /// VIOLATION: completed but the result silently differs from the
+    /// baseline (or from the documented quorum result).
+    SilentDivergence {
+        /// What diverged (checksums, residuals, ...).
+        detail: String,
+    },
+    /// VIOLATION: did not complete and no timeout/diagnostic attributes it.
+    UnattributedHang {
+        /// Whatever the run reported (or nothing).
+        detail: String,
+    },
+    /// VIOLATION: completed correctly but recovery blew the virtual-time
+    /// budget relative to the fault-free baseline.
+    UnboundedRecovery {
+        /// The observed-vs-budget numbers.
+        detail: String,
+    },
+}
+
+impl ChaosOutcome {
+    /// True when the outcome violates a recovery invariant.
+    pub fn is_violation(&self) -> bool {
+        matches!(
+            self,
+            ChaosOutcome::SilentDivergence { .. }
+                | ChaosOutcome::UnattributedHang { .. }
+                | ChaosOutcome::UnboundedRecovery { .. }
+        )
+    }
+
+    /// Short stable label used in reports (and in report diffs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosOutcome::CompletedIdentical => "completed-identical",
+            ChaosOutcome::CompletedDegraded { .. } => "completed-degraded",
+            ChaosOutcome::AttributedTimeout { .. } => "attributed-timeout",
+            ChaosOutcome::AttributedDiagnostic { .. } => "attributed-diagnostic",
+            ChaosOutcome::SilentDivergence { .. } => "VIOLATION:silent-divergence",
+            ChaosOutcome::UnattributedHang { .. } => "VIOLATION:unattributed-hang",
+            ChaosOutcome::UnboundedRecovery { .. } => "VIOLATION:unbounded-recovery",
+        }
+    }
+}
+
+/// Classify a non-completion: every [`SimError`] the engine can surface is
+/// an *attributed* failure — deadlocks and timeouts carry the wait-for
+/// graph, panics carry the diagnostic text (the communication layers panic
+/// with structured messages such as `PartitionedNetwork ...` or
+/// `retries exhausted ...`). An unattributed hang is therefore only
+/// possible if a runner swallows an error, which the chaos driver checks.
+pub fn classify_error(err: &SimError) -> ChaosOutcome {
+    match err {
+        SimError::Deadlock {
+            time,
+            cycle,
+            blocked,
+        } => ChaosOutcome::AttributedTimeout {
+            detail: if cycle.is_empty() {
+                format!("deadlock at {time}: blocked [{}]", blocked.join("; "))
+            } else {
+                format!("deadlock at {time}: cycle [{}]", cycle.join(" -> "))
+            },
+        },
+        SimError::Timeout {
+            time,
+            agent,
+            waiting_on,
+            cycle,
+            ..
+        } => ChaosOutcome::AttributedTimeout {
+            detail: if cycle.is_empty() {
+                format!("timeout at {time}: {agent} waiting on {waiting_on}")
+            } else {
+                format!(
+                    "timeout at {time}: {agent} waiting on {waiting_on}; cycle [{}]",
+                    cycle.join(" -> ")
+                )
+            },
+        },
+        SimError::AgentPanic { agent, message } => ChaosOutcome::AttributedDiagnostic {
+            detail: format!("{agent}: {message}"),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan <-> JSON (hand-rolled; the workspace has no serde)
+// ---------------------------------------------------------------------------
+
+fn f64_json(v: f64) -> String {
+    // Rust's shortest round-trip formatting; ensure a decimal point so the
+    // value reads back as a float field unambiguously.
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E', 'n', 'i']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Serialize a plan as pretty-printed JSON. Virtual times are u64
+/// nanoseconds; floats use Rust's shortest round-trip representation, so
+/// `plan_from_json(&plan_to_json(p)) == p` holds bitwise.
+pub fn plan_to_json(plan: &FaultPlan) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"seed\": {},\n", plan.seed));
+    s.push_str("  \"links\": [");
+    for (i, l) in plan.links.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"a\": {}, \"b\": {}, \"from\": {}, \"until\": {}, \
+             \"latency_mult\": {}, \"bandwidth_mult\": {}}}",
+            l.a,
+            l.b,
+            l.from.as_nanos(),
+            l.until.as_nanos(),
+            f64_json(l.latency_mult),
+            f64_json(l.bandwidth_mult)
+        ));
+    }
+    s.push_str(if plan.links.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    s.push_str("  \"drops\": [");
+    for (i, d) in plan.drops.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"from\": {}, \"to\": {}, \"first_attempt\": {}, \"count\": {}}}",
+            d.from, d.to, d.first_attempt, d.count
+        ));
+    }
+    s.push_str(if plan.drops.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    s.push_str("  \"crashes\": [");
+    for (i, c) in plan.crashes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"node\": {}, \"at_iteration\": {}}}",
+            c.node, c.at_iteration
+        ));
+    }
+    s.push_str(if plan.crashes.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    s.push_str("  \"stragglers\": [");
+    for (i, f) in plan.stragglers.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"node\": {}, \"from\": {}, \"until\": {}, \"compute_mult\": {}}}",
+            f.node,
+            f.from.as_nanos(),
+            f.until.as_nanos(),
+            f64_json(f.compute_mult)
+        ));
+    }
+    s.push_str(if plan.stragglers.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    s.push('}');
+    s
+}
+
+/// A parsed JSON value (minimal: just what fault plans need; booleans and
+/// null are accepted for completeness even though no plan field uses them).
+#[derive(Debug, Clone)]
+#[allow(dead_code)]
+enum Jv {
+    Obj(Vec<(String, Jv)>),
+    Arr(Vec<Jv>),
+    /// Numbers stay as source text so u64 seeds survive without f64 loss.
+    Num(String),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.i)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Jv, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Jv::Str(self.string()?)),
+            Some(b't') => self.literal("true", Jv::Bool(true)),
+            Some(b'f') => self.literal("false", Jv::Bool(false)),
+            Some(b'n') => self.literal("null", Jv::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Jv) -> Result<Jv, String> {
+        self.skip_ws();
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Jv, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(
+                self.b[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(self.err("expected a number"));
+        }
+        Ok(Jv::Num(
+            std::str::from_utf8(&self.b[start..self.i])
+                .unwrap()
+                .to_string(),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    // Copy the full UTF-8 sequence starting at this byte.
+                    let ch_len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let s = std::str::from_utf8(&self.b[self.i..self.i + ch_len])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.i += ch_len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Jv, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Jv::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Jv::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Jv, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Jv::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Jv::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Jv`] tree (crate-internal helper shared
+/// with the reproducer format in the bench crate via [`parse_json`]).
+fn parse_document(s: &str) -> Result<Jv, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+impl Jv {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Jv> {
+        match self {
+            Jv::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Jv::Num(s) => s.parse().map_err(|_| format!("{what}: not a u64: {s}")),
+            _ => Err(format!("{what}: expected a number")),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Jv::Num(s) => s.parse().map_err(|_| format!("{what}: not a float: {s}")),
+            _ => Err(format!("{what}: expected a number")),
+        }
+    }
+
+    fn as_usize(&self, what: &str) -> Result<usize, String> {
+        Ok(self.as_u64(what)? as usize)
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Jv], String> {
+        match self {
+            Jv::Arr(items) => Ok(items),
+            _ => Err(format!("{what}: expected an array")),
+        }
+    }
+}
+
+fn req<'a>(obj: &'a Jv, key: &str, what: &str) -> Result<&'a Jv, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{what}: missing \"{key}\""))
+}
+
+/// Parse a JSON document and return its top-level **string** field `key`
+/// (`Ok(None)` when the field is absent). The bench crate's reproducer
+/// format wraps a fault plan with `workload`/`topology` tags in the *same*
+/// object — [`plan_from_json`] ignores the extra fields, and this helper
+/// reads them back without exposing the parser.
+pub fn string_field(s: &str, key: &str) -> Result<Option<String>, String> {
+    let doc = parse_document(s)?;
+    match doc.get(key) {
+        None => Ok(None),
+        Some(Jv::Str(v)) => Ok(Some(v.clone())),
+        Some(_) => Err(format!("\"{key}\": expected a string")),
+    }
+}
+
+/// Parse a plan from the JSON produced by [`plan_to_json`] (field order is
+/// irrelevant; the empty arrays may be omitted entirely; unknown fields are
+/// ignored, which the reproducer wrapper format relies on).
+pub fn plan_from_json(s: &str) -> Result<FaultPlan, String> {
+    let doc = parse_document(s)?;
+    plan_from_jv(&doc)
+}
+
+fn plan_from_jv(doc: &Jv) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    plan.seed = match doc.get("seed") {
+        Some(v) => v.as_u64("seed")?,
+        None => 0,
+    };
+    if let Some(v) = doc.get("links") {
+        for (i, l) in v.as_arr("links")?.iter().enumerate() {
+            let what = format!("links[{i}]");
+            plan.links.push(LinkFault {
+                a: req(l, "a", &what)?.as_usize(&what)?,
+                b: req(l, "b", &what)?.as_usize(&what)?,
+                from: SimTime(req(l, "from", &what)?.as_u64(&what)?),
+                until: SimTime(req(l, "until", &what)?.as_u64(&what)?),
+                latency_mult: req(l, "latency_mult", &what)?.as_f64(&what)?,
+                bandwidth_mult: req(l, "bandwidth_mult", &what)?.as_f64(&what)?,
+            });
+        }
+    }
+    if let Some(v) = doc.get("drops") {
+        for (i, d) in v.as_arr("drops")?.iter().enumerate() {
+            let what = format!("drops[{i}]");
+            plan.drops.push(DropFault {
+                from: req(d, "from", &what)?.as_usize(&what)?,
+                to: req(d, "to", &what)?.as_usize(&what)?,
+                first_attempt: req(d, "first_attempt", &what)?.as_u64(&what)?,
+                count: req(d, "count", &what)?.as_u64(&what)?,
+            });
+        }
+    }
+    if let Some(v) = doc.get("crashes") {
+        for (i, c) in v.as_arr("crashes")?.iter().enumerate() {
+            let what = format!("crashes[{i}]");
+            plan.crashes.push(CrashFault {
+                node: req(c, "node", &what)?.as_usize(&what)?,
+                at_iteration: req(c, "at_iteration", &what)?.as_u64(&what)?,
+            });
+        }
+    }
+    if let Some(v) = doc.get("stragglers") {
+        for (i, f) in v.as_arr("stragglers")?.iter().enumerate() {
+            let what = format!("stragglers[{i}]");
+            plan.stragglers.push(StragglerFault {
+                node: req(f, "node", &what)?.as_usize(&what)?,
+                from: SimTime(req(f, "from", &what)?.as_u64(&what)?),
+                until: SimTime(req(f, "until", &what)?.as_u64(&what)?),
+                compute_mult: req(f, "compute_mult", &what)?.as_f64(&what)?,
+            });
+        }
+    }
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking: ddmin over fault atoms, then injection-window tightening
+// ---------------------------------------------------------------------------
+
+/// One schedulable fault, plan-kind-erased — the unit the delta-debugging
+/// minimizer removes and re-adds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAtom {
+    /// A link degradation/kill window.
+    Link(LinkFault),
+    /// A dropped-delivery window.
+    Drop(DropFault),
+    /// A crash point.
+    Crash(CrashFault),
+    /// A straggler window.
+    Straggler(StragglerFault),
+}
+
+/// Flatten a plan into its fault atoms (stable order: links, drops,
+/// crashes, stragglers).
+pub fn atoms(plan: &FaultPlan) -> Vec<FaultAtom> {
+    let mut v = Vec::new();
+    v.extend(plan.links.iter().cloned().map(FaultAtom::Link));
+    v.extend(plan.drops.iter().cloned().map(FaultAtom::Drop));
+    v.extend(plan.crashes.iter().cloned().map(FaultAtom::Crash));
+    v.extend(plan.stragglers.iter().cloned().map(FaultAtom::Straggler));
+    v
+}
+
+/// Rebuild a plan from atoms, preserving `seed` for provenance.
+pub fn rebuild(seed: u64, atoms: &[FaultAtom]) -> FaultPlan {
+    let mut plan = FaultPlan {
+        seed,
+        ..Default::default()
+    };
+    for a in atoms {
+        match a {
+            FaultAtom::Link(f) => plan.links.push(f.clone()),
+            FaultAtom::Drop(f) => plan.drops.push(f.clone()),
+            FaultAtom::Crash(f) => plan.crashes.push(f.clone()),
+            FaultAtom::Straggler(f) => plan.stragglers.push(f.clone()),
+        }
+    }
+    plan
+}
+
+/// Shrink a failing plan to a minimal reproducer.
+///
+/// `still_fails(candidate)` must return `true` when the candidate plan
+/// reproduces the original failure (same classification). The algorithm is
+/// the classic **ddmin**: partition the fault atoms into `n` chunks, try
+/// each chunk and each complement, recurse on whichever still fails with
+/// finer granularity, until the list is 1-minimal (removing any single
+/// fault makes the failure disappear). A second pass then **tightens
+/// injection times**: windowed faults (links, stragglers) get their windows
+/// repeatedly halved, drop bursts get their count halved, while the failure
+/// persists. Fully deterministic given a deterministic oracle; the oracle
+/// is invoked O(k² + k·log(window)) times for k atoms.
+///
+/// If the input plan does not fail under the oracle it is returned as-is.
+pub fn shrink(plan: &FaultPlan, still_fails: &mut dyn FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    if !still_fails(plan) {
+        return plan.clone();
+    }
+    let seed = plan.seed;
+    let mut current = atoms(plan);
+
+    // Phase 1: ddmin to a 1-minimal subset.
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let len = current.len();
+        let chunk = len.div_ceil(n.min(len));
+        let mut reduced = false;
+        // Try each chunk alone.
+        for start in (0..len).step_by(chunk) {
+            let subset: Vec<FaultAtom> = current[start..(start + chunk).min(len)].to_vec();
+            if subset.len() < len && still_fails(&rebuild(seed, &subset)) {
+                current = subset;
+                n = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+        // Try each complement.
+        for start in (0..len).step_by(chunk) {
+            let mut complement = current.clone();
+            complement.drain(start..(start + chunk).min(len));
+            if !complement.is_empty()
+                && complement.len() < len
+                && still_fails(&rebuild(seed, &complement))
+            {
+                current = complement;
+                n = (n - 1).max(2);
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+        if n >= len {
+            break; // 1-minimal.
+        }
+        n = (n * 2).min(len);
+    }
+
+    // Phase 2: tighten injection windows atom by atom.
+    for i in 0..current.len() {
+        loop {
+            let tightened = match &current[i] {
+                FaultAtom::Link(f) if !f.is_kill() => {
+                    let len = f.until.as_nanos().saturating_sub(f.from.as_nanos());
+                    if len <= 1 {
+                        None
+                    } else {
+                        let mut t = f.clone();
+                        t.until = SimTime(f.from.as_nanos() + len / 2);
+                        Some(FaultAtom::Link(t))
+                    }
+                }
+                FaultAtom::Straggler(f) => {
+                    let len = f.until.as_nanos().saturating_sub(f.from.as_nanos());
+                    if len <= 1 {
+                        None
+                    } else {
+                        let mut t = f.clone();
+                        t.until = SimTime(f.from.as_nanos() + len / 2);
+                        Some(FaultAtom::Straggler(t))
+                    }
+                }
+                FaultAtom::Drop(f) if f.count > 1 => {
+                    let mut t = f.clone();
+                    t.count = f.count / 2;
+                    Some(FaultAtom::Drop(t))
+                }
+                _ => None,
+            };
+            let Some(candidate_atom) = tightened else {
+                break;
+            };
+            let mut candidate = current.clone();
+            candidate[i] = candidate_atom;
+            if still_fails(&rebuild(seed, &candidate)) {
+                current = candidate;
+            } else {
+                break;
+            }
+        }
+    }
+
+    rebuild(seed, &current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::us;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan::from_seed(7, 4, SimTime::ZERO + us(400.0), 10)
+    }
+
+    #[test]
+    fn json_round_trip_is_bitwise() {
+        let plan = sample_plan()
+            .with_link(LinkFault::kill(0, 3, SimTime(12345)))
+            .with_link(LinkFault {
+                a: 1,
+                b: 2,
+                from: SimTime(0),
+                until: SimTime(999_999),
+                latency_mult: 1.5000000000000002,
+                bandwidth_mult: 0.1,
+            });
+        let json = plan_to_json(&plan);
+        let back = plan_from_json(&json).expect("parse");
+        assert_eq!(plan, back, "round-trip must be exact:\n{json}");
+        // And a second trip is byte-stable.
+        assert_eq!(json, plan_to_json(&back));
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let plan = FaultPlan::new();
+        let back = plan_from_json(&plan_to_json(&plan)).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn missing_sections_default_to_empty() {
+        let plan = plan_from_json("{\"seed\": 9}").unwrap();
+        assert_eq!(plan.seed, 9);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(plan_from_json("{").is_err());
+        assert!(plan_from_json("{\"links\": [{\"a\": 0}]}").is_err());
+        assert!(plan_from_json("{} trailing").is_err());
+        assert!(plan_from_json("{\"seed\": \"x\"}").is_err());
+    }
+
+    #[test]
+    fn big_seed_survives_round_trip() {
+        let plan = FaultPlan {
+            seed: u64::MAX - 1,
+            ..Default::default()
+        };
+        let back = plan_from_json(&plan_to_json(&plan)).unwrap();
+        assert_eq!(back.seed, u64::MAX - 1);
+    }
+
+    #[test]
+    fn ddmin_finds_single_culprit() {
+        // Failure iff the plan contains the crash on node 2.
+        let plan = sample_plan().with_crash(CrashFault {
+            node: 2,
+            at_iteration: 777,
+        });
+        let mut calls = 0;
+        let shrunk = shrink(&plan, &mut |p| {
+            calls += 1;
+            p.crashes.iter().any(|c| c.at_iteration == 777)
+        });
+        assert_eq!(atoms(&shrunk).len(), 1);
+        assert_eq!(
+            shrunk.crashes,
+            vec![CrashFault {
+                node: 2,
+                at_iteration: 777
+            }]
+        );
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn ddmin_keeps_conjunction_of_two_faults() {
+        // Failure requires BOTH the drop and the crash.
+        let plan = sample_plan()
+            .with_drop(DropFault {
+                from: 3,
+                to: 0,
+                first_attempt: 42,
+                count: 1,
+            })
+            .with_crash(CrashFault {
+                node: 1,
+                at_iteration: 555,
+            });
+        let shrunk = shrink(&plan, &mut |p| {
+            p.drops.iter().any(|d| d.first_attempt == 42)
+                && p.crashes.iter().any(|c| c.at_iteration == 555)
+        });
+        assert_eq!(atoms(&shrunk).len(), 2);
+        assert_eq!(shrunk.drops.len(), 1);
+        assert_eq!(shrunk.crashes.len(), 1);
+    }
+
+    #[test]
+    fn tightening_halves_windows_and_counts() {
+        let plan = FaultPlan::new()
+            .with_link(LinkFault {
+                a: 0,
+                b: 1,
+                from: SimTime(1000),
+                until: SimTime(1000 + (1 << 20)),
+                latency_mult: 8.0,
+                bandwidth_mult: 0.5,
+            })
+            .with_drop(DropFault {
+                from: 0,
+                to: 1,
+                first_attempt: 1,
+                count: 64,
+            });
+        // Failure persists while the link window covers [1000, 1200) and at
+        // least 3 drops remain.
+        let shrunk = shrink(&plan, &mut |p| {
+            p.links
+                .iter()
+                .any(|l| l.from <= SimTime(1000) && l.until >= SimTime(1200))
+                && p.drops.iter().map(|d| d.count).sum::<u64>() >= 3
+        });
+        let l = &shrunk.links[0];
+        assert!(
+            l.until.as_nanos() - l.from.as_nanos() < 1024,
+            "window should be tightened, got {} ns",
+            l.until.as_nanos() - l.from.as_nanos()
+        );
+        assert!(l.until >= SimTime(1200));
+        assert_eq!(
+            shrunk.drops[0].count, 4,
+            "64 -> 32 -> 16 -> 8 -> 4 (2 fails)"
+        );
+    }
+
+    #[test]
+    fn non_failing_plan_is_returned_unchanged() {
+        let plan = sample_plan();
+        let shrunk = shrink(&plan, &mut |_| false);
+        assert_eq!(plan, shrunk);
+    }
+
+    #[test]
+    fn classify_attributes_engine_errors() {
+        let deadlock = SimError::Deadlock {
+            time: SimTime(5),
+            blocked: vec!["a @flag".into()],
+            cycle: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(classify_error(&deadlock).label(), "attributed-timeout");
+        let panic = SimError::AgentPanic {
+            agent: "pe1".into(),
+            message: "PartitionedNetwork: 0->2".into(),
+        };
+        match classify_error(&panic) {
+            ChaosOutcome::AttributedDiagnostic { detail } => {
+                assert!(detail.contains("PartitionedNetwork"))
+            }
+            other => panic!("wrong class: {other:?}"),
+        }
+        assert!(!classify_error(&panic).is_violation());
+        assert!(ChaosOutcome::SilentDivergence {
+            detail: String::new()
+        }
+        .is_violation());
+    }
+}

@@ -53,12 +53,19 @@ impl SplitMix64 {
 }
 
 /// One SplitMix64 step — the shared seed-mixing primitive behind
-/// [`FaultPlan::from_seed`] and the engine's wake-order jitter.
-pub(crate) fn mix64(seed: u64) -> u64 {
+/// [`FaultPlan::from_seed`], the engine's wake-order jitter, and the
+/// deterministic retry-backoff jitter in the communication layers.
+pub fn mix64(seed: u64) -> u64 {
     SplitMix64::new(seed).next_u64()
 }
 
 /// Link degradation between an unordered pair of nodes over a time window.
+///
+/// A `bandwidth_mult <= 0.0` means the pair's direct connection is **dead**
+/// (a hard link failure, not a slowdown): from `from` onward the pair can no
+/// longer talk directly and the transport must reroute around it — see
+/// [`FaultState::pair_dead`]. Dead links are permanent (`until` is ignored)
+/// and do not contribute to [`FaultState::link_mult`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkFault {
     /// One endpoint of the (unordered) link.
@@ -67,13 +74,33 @@ pub struct LinkFault {
     pub b: usize,
     /// Window start (inclusive).
     pub from: SimTime,
-    /// Window end (exclusive).
+    /// Window end (exclusive). Ignored for dead links (`bandwidth_mult <= 0`).
     pub until: SimTime,
     /// Latency is multiplied by this (>= 1.0 degrades).
     pub latency_mult: f64,
     /// Effective bandwidth is multiplied by this (in `0 < m <= 1` degrades);
-    /// transfer time scales by `1 / bandwidth_mult`.
+    /// transfer time scales by `1 / bandwidth_mult`. `<= 0.0` kills the link.
     pub bandwidth_mult: f64,
+}
+
+impl LinkFault {
+    /// True when this fault kills the pair outright rather than degrading it.
+    pub fn is_kill(&self) -> bool {
+        self.bandwidth_mult <= 0.0
+    }
+
+    /// A permanent hard failure of the direct `{a, b}` connection from
+    /// `from` onward.
+    pub fn kill(a: usize, b: usize, from: SimTime) -> LinkFault {
+        LinkFault {
+            a,
+            b,
+            from,
+            until: SimTime(u64::MAX),
+            latency_mult: 1.0,
+            bandwidth_mult: 0.0,
+        }
+    }
 }
 
 /// Silently dropped put-with-signal deliveries on a directed route.
@@ -272,12 +299,43 @@ impl FaultState {
         let mut inv_bw = 1.0;
         for f in &self.plan.links {
             let same = (f.a == a && f.b == b) || (f.a == b && f.b == a);
-            if same && now >= f.from && now < f.until {
+            // Kills are routing faults, not slowdowns — handled by rerouting.
+            if same && !f.is_kill() && now >= f.from && now < f.until {
                 lat *= f.latency_mult.max(1.0);
                 inv_bw *= 1.0 / f.bandwidth_mult.clamp(1e-6, 1.0);
             }
         }
         (lat, inv_bw)
+    }
+
+    /// True when the direct `{a, b}` connection is hard-failed at `now`
+    /// (a [`LinkFault`] with `bandwidth_mult <= 0` whose `from` has passed).
+    /// Kills are permanent: once active, the pair never heals.
+    pub fn pair_dead(&self, a: usize, b: usize, now: SimTime) -> bool {
+        self.plan.links.iter().any(|f| {
+            let same = (f.a == a && f.b == b) || (f.a == b && f.b == a);
+            same && f.is_kill() && now >= f.from
+        })
+    }
+
+    /// All unordered pairs whose direct connection is dead at `now`, as
+    /// sorted `(min, max)` tuples — a deterministic routing-table key.
+    pub fn dead_pairs(&self, now: SimTime) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = self
+            .plan
+            .links
+            .iter()
+            .filter(|f| f.is_kill() && now >= f.from)
+            .map(|f| (f.a.min(f.b), f.a.max(f.b)))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// True when the plan contains any hard link failure (at any time).
+    pub fn has_kills(&self) -> bool {
+        self.plan.links.iter().any(LinkFault::is_kill)
     }
 
     /// Record one put-with-signal attempt on the directed route and report
@@ -368,6 +426,29 @@ mod tests {
         assert_eq!(st.link_mult(1, 0, SimTime(150)), (4.0, 2.0));
         assert_eq!(st.link_mult(0, 1, SimTime(200)), (1.0, 1.0));
         assert_eq!(st.link_mult(2, 3, SimTime(150)), (1.0, 1.0));
+    }
+
+    #[test]
+    fn kill_is_permanent_and_excluded_from_link_mult() {
+        let plan = FaultPlan::new()
+            .with_link(LinkFault::kill(0, 2, SimTime(100)))
+            .with_link(LinkFault {
+                a: 0,
+                b: 1,
+                from: SimTime(0),
+                until: SimTime(500),
+                latency_mult: 3.0,
+                bandwidth_mult: 0.5,
+            });
+        let st = FaultState::new(plan);
+        assert!(!st.pair_dead(0, 2, SimTime(99)));
+        assert!(st.pair_dead(2, 0, SimTime(100)));
+        assert!(st.pair_dead(0, 2, SimTime(u64::MAX)), "kills never heal");
+        // The kill contributes nothing to the degradation multipliers.
+        assert_eq!(st.link_mult(0, 2, SimTime(200)), (1.0, 1.0));
+        assert_eq!(st.link_mult(0, 1, SimTime(200)), (3.0, 2.0));
+        assert_eq!(st.dead_pairs(SimTime(50)), vec![]);
+        assert_eq!(st.dead_pairs(SimTime(100)), vec![(0, 2)]);
     }
 
     #[test]

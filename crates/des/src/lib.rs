@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod agent;
+pub mod chaos;
 mod engine;
 pub mod fault;
 pub mod hb;
@@ -33,8 +34,11 @@ mod time;
 pub mod trace;
 
 pub use agent::{AgentCtx, AgentId, WaitTimedOut};
+pub use chaos::{
+    classify_error, plan_from_json, plan_to_json, shrink, string_field, ChaosOutcome, FaultAtom,
+};
 pub use engine::{BlockedInfo, Engine, SimError};
-pub use fault::{CrashFault, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault};
+pub use fault::{mix64, CrashFault, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault};
 pub use hb::{AsyncClock, DiagKind, Diagnostic, HbEvent, HbEventKind, HbTracker, VClock};
 pub use resource::{Reservation, Resource, ResourceStats};
 pub use sync::{Barrier, Cmp, Flag, SignalOp};

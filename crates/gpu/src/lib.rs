@@ -32,6 +32,7 @@ mod host;
 mod kernel;
 mod machine;
 mod mem;
+pub mod resilience;
 mod stream;
 mod topo;
 
@@ -42,6 +43,7 @@ pub use host::HostCtx;
 pub use kernel::{BlockGroup, CoopKernel, GridInfo, KernelBody, KernelCtx};
 pub use machine::{ExecMode, Machine};
 pub use mem::{Buf, DevId, Place};
+pub use resilience::{alive_at, format_quorum, HealedRoutes, PartitionedNetwork};
 pub use sim_des::{
     CrashFault, DiagKind, Diagnostic, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault,
 };

@@ -27,12 +27,14 @@
 //! the route. Fault-injected link degradation (`FaultState::link_mult`) is
 //! applied in exactly one place, [`Transport::put_signal_delivery`].
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use sim_des::{us, FaultState, Resource, ResourceStats, SimDur, SimTime};
 
 use crate::cost::CostModel;
 use crate::mem::{DevId, Place};
+use crate::resilience::{HealedRoutes, PartitionedNetwork};
 
 /// Which interconnect graph a machine charges transfers on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -376,6 +378,23 @@ impl Topology {
         order
     }
 
+    /// The ring embedding restricted to `members` (ascending PE ids): the
+    /// base ring with every non-member spliced out. This is how collectives
+    /// *heal* around crashed PEs — survivors keep their relative ring
+    /// positions, so the healed order is identical on every member.
+    pub fn ring_order_among(&self, members: &[usize]) -> Vec<usize> {
+        self.ring
+            .iter()
+            .copied()
+            .filter(|p| members.contains(p))
+            .collect()
+    }
+
+    /// The base (fault-free) device route `src -> dst`.
+    pub(crate) fn dev_route(&self, src: usize, dst: usize) -> &[usize] {
+        &self.dev_routes[src][dst]
+    }
+
     fn route(&self, src: Endpoint, dst: Endpoint) -> &[usize] {
         match (src, dst) {
             (Endpoint::Dev(s), Endpoint::Dev(d)) if s != d => &self.dev_routes[s.0][d.0],
@@ -387,6 +406,10 @@ impl Topology {
     }
 }
 
+/// Healed route tables keyed by the active dead-pair set, computed once
+/// per set per machine and shared.
+type HealedCache = sim_des::lock::Mutex<HashMap<Vec<(usize, usize)>, Arc<HealedRoutes>>>;
+
 /// The single charging API for all inter-endpoint transfers.
 ///
 /// Combines the [`Topology`] (routes, queueing) with the [`CostModel`]
@@ -395,12 +418,29 @@ impl Topology {
 pub struct Transport {
     topo: Arc<Topology>,
     cost: CostModel,
+    /// Healed route tables keyed by the active dead-pair set (see
+    /// [`crate::resilience`]); shared across clones so each table is
+    /// computed once per machine.
+    healed: Arc<HealedCache>,
+    /// Completion time of the last put-with-signal delivery per
+    /// `(src, dst)` route. Deliveries on one route complete in issue order
+    /// (RDMA per-connection FIFO): without the clamp, a short put issued
+    /// behind a long degraded-window put could overtake it, letting a
+    /// `Set`-signal waiter observe a *later* iteration's flag before the
+    /// *earlier* iteration's payload has landed. Shared across clones like
+    /// link occupancy.
+    fifo: Arc<sim_des::lock::Mutex<HashMap<(usize, usize), SimTime>>>,
 }
 
 impl Transport {
     /// Pair a topology with its cost calibration.
     pub fn new(topo: Arc<Topology>, cost: CostModel) -> Transport {
-        Transport { topo, cost }
+        Transport {
+            topo,
+            cost,
+            healed: Arc::new(sim_des::lock::Mutex::new(HashMap::new())),
+            fifo: Arc::new(sim_des::lock::Mutex::new(HashMap::new())),
+        }
     }
 
     /// The underlying graph.
@@ -438,7 +478,19 @@ impl Transport {
         bw_scale: f64,
         inv_bw: f64,
     ) -> SimDur {
-        let route = self.topo.route(src, dst);
+        self.charge_route(self.topo.route(src, dst), bytes, now, bw_scale, inv_bw)
+    }
+
+    /// The cut-through charging core over an explicit link sequence (the
+    /// base route, or a healed route relayed through intermediate devices).
+    fn charge_route(
+        &self,
+        route: &[usize],
+        bytes: u64,
+        now: SimTime,
+        bw_scale: f64,
+        inv_bw: f64,
+    ) -> SimDur {
         let mut head = now;
         let mut finish = now;
         for (i, &idx) in route.iter().enumerate() {
@@ -565,6 +617,27 @@ impl Transport {
         now: SimTime,
         block: bool,
     ) -> SimDur {
+        match self.try_put_signal_delivery(faults, src, dst, bytes, now, block) {
+            Ok(d) => d,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// [`Transport::put_signal_delivery`] surfacing network partitions as
+    /// an error instead of a panic. When a hard link failure
+    /// ([`sim_des::LinkFault::is_kill`]) has severed the direct `src <-> dst`
+    /// connection, the transfer is **rerouted** over the healed route table
+    /// for the active dead-pair set — relayed cut-through over surviving
+    /// pairs — and only a fully partitioned network is an error.
+    pub fn try_put_signal_delivery(
+        &self,
+        faults: &FaultState,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        now: SimTime,
+        block: bool,
+    ) -> Result<SimDur, PartitionedNetwork> {
         let (lat_mult, inv_bw) = if faults.is_active() {
             faults.link_mult(src, dst, now)
         } else {
@@ -575,9 +648,55 @@ impl Transport {
         } else {
             1.0
         };
-        us(self.cost.shmem_put_us) * inv_bw
-            + self.dev_charge(src, dst, bytes, now, bw_scale, inv_bw)
-            + us(self.cost.shmem_signal_us) * lat_mult
+        let wire = if src != dst && faults.has_kills() && faults.pair_dead(src, dst, now) {
+            let healed = self.healed_routes(&faults.dead_pairs(now));
+            let (route, relays) = healed.route(src, dst)?;
+            // Each intermediate device store-and-forwards the message:
+            // it pays a peer-forwarding latency on top of the wire time.
+            us(self.cost.p2p_latency_us) * relays as u64
+                + self.charge_route(route, bytes, now, bw_scale, inv_bw)
+        } else {
+            self.dev_charge(src, dst, bytes, now, bw_scale, inv_bw)
+        };
+        let raw =
+            us(self.cost.shmem_put_us) * inv_bw + wire + us(self.cost.shmem_signal_us) * lat_mult;
+        // Per-route FIFO: clamp so this delivery never completes before an
+        // earlier one on the same route. A no-op unless a fault window
+        // actually reordered completions, so fault-free timings are
+        // untouched.
+        let mut fifo = self.fifo.lock();
+        let done = (now + raw).max(fifo.get(&(src, dst)).copied().unwrap_or(SimTime::ZERO));
+        fifo.insert((src, dst), done);
+        Ok(done.since(now))
+    }
+
+    /// Whether `src` can currently reach `dst` (directly or rerouted),
+    /// and over how many links. Runners consult this before relying on a
+    /// neighbor so partitions surface as structured diagnostics.
+    pub fn route_status(
+        &self,
+        faults: &FaultState,
+        src: usize,
+        dst: usize,
+        now: SimTime,
+    ) -> Result<usize, PartitionedNetwork> {
+        if src == dst || !faults.has_kills() || !faults.pair_dead(src, dst, now) {
+            return Ok(self.topo.route_hops(src, dst));
+        }
+        let healed = self.healed_routes(&faults.dead_pairs(now));
+        healed.route(src, dst).map(|(r, _)| r.len())
+    }
+
+    /// The healed route table for a dead-pair set (computed once per set
+    /// per machine, then shared).
+    fn healed_routes(&self, dead: &[(usize, usize)]) -> Arc<HealedRoutes> {
+        let mut cache = self.healed.lock();
+        if let Some(t) = cache.get(dead) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(HealedRoutes::compute(&self.topo, dead));
+        cache.insert(dead.to_vec(), Arc::clone(&t));
+        t
     }
 
     fn dev_charge(
@@ -755,6 +874,50 @@ mod tests {
                 "{kind:?}: signal must not overtake the put ({sig} vs {put})"
             );
         }
+    }
+
+    #[test]
+    fn killed_pair_reroutes_and_partition_surfaces() {
+        use sim_des::{FaultPlan, LinkFault};
+        let c = CostModel::a100_hgx();
+        let bytes = 1 << 20;
+        // 4 devices: killing {0,1} reroutes over a 2-link relay.
+        let t = transport(TopologyKind::NvlinkAllToAll, 4);
+        let st =
+            sim_des::FaultState::new(FaultPlan::new().with_link(LinkFault::kill(0, 1, SimTime(0))));
+        let healed = t
+            .try_put_signal_delivery(&st, 0, 1, bytes, SimTime(0), false)
+            .unwrap();
+        assert!(
+            healed > c.shmem_put(bytes) + c.shmem_signal(),
+            "relayed route must cost more than the direct link"
+        );
+        assert_eq!(t.route_status(&st, 0, 1, SimTime(0)).unwrap(), 2);
+        // Other pairs are untouched — exact flat-model equality holds.
+        assert_eq!(
+            t.try_put_signal_delivery(&st, 2, 3, bytes, SimTime(0), false)
+                .unwrap(),
+            c.shmem_put(bytes) + c.shmem_signal()
+        );
+        // Before the kill activates, the direct route still serves.
+        let st_late = sim_des::FaultState::new(FaultPlan::new().with_link(LinkFault::kill(
+            0,
+            1,
+            SimTime(1000),
+        )));
+        assert_eq!(
+            t.route_status(&st_late, 0, 1, SimTime(0)).unwrap(),
+            t.topology().route_hops(0, 1)
+        );
+        // 2 devices: killing the only pair partitions the network.
+        let t2 = transport(TopologyKind::NvlinkAllToAll, 2);
+        let st2 =
+            sim_des::FaultState::new(FaultPlan::new().with_link(LinkFault::kill(0, 1, SimTime(0))));
+        let err = t2
+            .try_put_signal_delivery(&st2, 0, 1, bytes, SimTime(0), false)
+            .unwrap_err();
+        assert!(err.to_string().contains("PartitionedNetwork"));
+        assert!(t2.route_status(&st2, 1, 0, SimTime(0)).is_err());
     }
 
     #[test]

@@ -83,6 +83,25 @@ impl AllreduceWs {
         }
     }
 
+    /// Collective allocation sized for **ring** collectives over *any*
+    /// member subset: always `n - 1` round slots, regardless of whether
+    /// the world size is a power of two. Required by
+    /// [`allreduce_scalar_quorum`], whose quorum size is not known at
+    /// allocation time (a quorum of `m` members needs `m - 1` distinct
+    /// slots, and `m` can be as large as `n`).
+    pub fn new_ring(world: &ShmemWorld) -> AllreduceWs {
+        let n = world.n_pes();
+        let rounds = n.saturating_sub(1).max(1);
+        AllreduceWs {
+            slots: world.malloc("allreduce.slots", rounds),
+            sigs: world.signals(rounds, 0),
+            acks: world.signals(rounds, 0),
+            seq: 0,
+            n_pes: n,
+            rounds,
+        }
+    }
+
     /// Number of communication rounds per allreduce call.
     pub fn rounds(&self) -> usize {
         self.rounds
@@ -350,6 +369,124 @@ pub fn allreduce_scalar_ft(
     }
 }
 
+/// Self-healing scalar allreduce over a **quorum**: the surviving members
+/// of a degraded run complete the reduction among themselves, skipping
+/// crashed PEs entirely.
+///
+/// The exchange is a ring over the quorum's embedding in the topology's
+/// base ring ([`gpu_sim::Topology::ring_order_among`]) — the healed ring
+/// simply closes the gap a dead PE leaves. Every put is retried
+/// ([`ShmemCtx::putmem_signal_reliable`], extra attempts accumulated into
+/// `retries`), and every wait declares its peer
+/// ([`ShmemCtx::signal_wait_from`]) so a non-completing degraded run is
+/// always attributed with a wait-for edge.
+///
+/// Returns the reduced value together with the **deterministic
+/// contribution report**: the ascending PE ids whose values entered the
+/// reduction. The combination order is global PE-index order over the
+/// members, so the result is bitwise identical on every member and
+/// topology-invariant — and reproducible by a sequential reference that
+/// folds the members' values in ascending order.
+///
+/// Contract (asserted):
+/// * `members` is sorted ascending, non-empty, and contains the caller;
+/// * the workspace was allocated with [`AllreduceWs::new_ring`]
+///   (`ws.rounds() >= members.len() - 1`);
+/// * exactly one agent per *member* calls this per epoch — non-members
+///   must not call;
+/// * across consecutive epochs on the same workspace, membership only
+///   **shrinks** (deaths are permanent), so every slot in use this epoch
+///   carries a flow-control ack from the previous one.
+#[allow(clippy::too_many_arguments)]
+pub fn allreduce_scalar_quorum(
+    sh: &mut ShmemCtx,
+    ctx: &mut KernelCtx<'_>,
+    ws: &mut AllreduceWs,
+    value: f64,
+    op: ReduceOp,
+    members: &[usize],
+    retries: &mut u64,
+) -> (f64, Vec<usize>) {
+    let me = sh.my_pe();
+    assert!(
+        members.windows(2).all(|w| w[0] < w[1]),
+        "quorum must be sorted ascending: {members:?}"
+    );
+    assert!(
+        members.contains(&me),
+        "pe{me} called allreduce_scalar_quorum but is not in {members:?}"
+    );
+    let m = members.len();
+    let report = members.to_vec();
+    if m == 1 {
+        ws.seq += 1;
+        return (value, report);
+    }
+    assert!(
+        ws.rounds >= m - 1,
+        "workspace has {} round slots but quorum of {m} needs {} — allocate with AllreduceWs::new_ring",
+        ws.rounds,
+        m - 1
+    );
+    ws.seq += 1;
+    let topo = std::sync::Arc::clone(sh.world().topology());
+    let order = topo.ring_order_among(members);
+    let pos = order
+        .iter()
+        .position(|&p| p == me)
+        .expect("member missing from healed ring order");
+    let right = order[(pos + 1) % m];
+    let left = order[(pos + m - 1) % m];
+    // Per-round scratch cells — see `allreduce_scalar` for why.
+    let scratch = ctx
+        .machine()
+        .alloc(ctx.device(), "allreduce.src", ws.rounds);
+    // Everyone circulates its ORIGINAL value around the healed ring; each
+    // member records arrivals keyed by origin PE id.
+    let mut values = vec![0.0f64; ws.n_pes];
+    values[me] = value;
+    let mut forwarding = value;
+    for r in 0..m - 1 {
+        let slot = r;
+        // Flow control: my RIGHT neighbor (this slot's reader) must have
+        // consumed my previous epoch's write. Membership only shrinks, so
+        // the previous epoch used this slot too and acked it.
+        sh.signal_wait_from(ctx, &ws.acks[slot], Cmp::Ge, ws.seq - 1, right);
+        ctx.check_write(&scratch, slot, slot + 1, "allreduce scratch");
+        scratch.set(slot, forwarding);
+        *retries += (sh.putmem_signal_reliable(
+            ctx,
+            &ws.slots,
+            slot,
+            &scratch,
+            slot,
+            1,
+            &ws.sigs[slot],
+            SignalOp::Set,
+            ws.seq,
+            right,
+        ) - 1) as u64;
+        sh.signal_wait_from(ctx, &ws.sigs[slot], Cmp::Ge, ws.seq, left);
+        ctx.check_read(ws.slots.local(me), slot, slot + 1, "allreduce slot");
+        let got = ws.slots.local(me).get(slot);
+        // Acknowledge to my LEFT neighbor (the slot's writer).
+        sh.signal_op(ctx, &ws.acks[slot], SignalOp::Set, ws.seq, left);
+        // The value received at round r originated r+1 healed-ring
+        // positions to my left.
+        let origin = order[(pos + m - r - 1) % m];
+        values[origin] = got;
+        forwarding = got;
+    }
+    // Combine in global PE-index order over the members — independent of
+    // the ring embedding, hence topology-invariant and bitwise identical
+    // on every member.
+    let mut acc = values[members[0]];
+    for &pe in &members[1..] {
+        acc = op.combine(acc, values[pe]);
+    }
+    (acc, report)
+}
+
 /// Broadcast `len` elements of `arr` from `root`'s copy to every PE.
 /// Exactly one agent per PE must call this; blocking.
 pub fn broadcast(
@@ -549,6 +686,167 @@ mod tests {
         machine.run().unwrap();
         let out = results.lock();
         assert!(out.iter().all(|&(a, b)| a == 6.0 && b == 12.0), "{out:?}");
+    }
+
+    fn run_quorum_on(
+        kind: gpu_sim::TopologyKind,
+        n: usize,
+        members: Vec<usize>,
+        values: Vec<f64>,
+        op: ReduceOp,
+    ) -> Vec<(f64, Vec<usize>)> {
+        let machine = Machine::with_topology(n, CostModel::a100_hgx(), kind, ExecMode::Full);
+        let world = ShmemWorld::init(&machine);
+        let ws = AllreduceWs::new_ring(&world);
+        let results = Arc::new(Mutex::new(vec![(0.0, Vec::new()); n]));
+        for &pe in &members {
+            let world = world.clone();
+            let mut ws = ws.clone();
+            let members = members.clone();
+            let value = values[pe];
+            let results = Arc::clone(&results);
+            machine.spawn_host(format!("rank{pe}"), move |host| {
+                let k = host.launch_cooperative(
+                    DevId(pe),
+                    "quorum",
+                    1024,
+                    vec![BlockGroup::new("g", 1, move |kc| {
+                        let mut sh = ShmemCtx::new(&world, kc);
+                        let mut retries = 0u64;
+                        let r = allreduce_scalar_quorum(
+                            &mut sh,
+                            kc,
+                            &mut ws,
+                            value,
+                            op,
+                            &members,
+                            &mut retries,
+                        );
+                        results.lock()[pe] = r;
+                    })],
+                );
+                host.wait_cooperative(&k);
+            });
+        }
+        machine.run().unwrap();
+        Arc::try_unwrap(results).unwrap().into_inner()
+    }
+
+    #[test]
+    fn quorum_allreduce_skips_dead_pe_and_reports_members() {
+        let members = vec![0usize, 1, 3]; // PE 2 is "dead"
+        let vals = vec![1.5, -2.0, 999.0, 4.25];
+        let out = run_quorum_on(
+            gpu_sim::TopologyKind::NvlinkAllToAll,
+            4,
+            members.clone(),
+            vals.clone(),
+            ReduceOp::Sum,
+        );
+        let expect = 1.5 + -2.0 + 4.25; // ascending member order, PE 2 excluded
+        for &pe in &members {
+            assert_eq!(out[pe].0, expect, "pe {pe}");
+            assert_eq!(out[pe].1, members, "pe {pe} contribution report");
+        }
+        // The dead PE's slot was never written.
+        assert_eq!(out[2], (0.0, Vec::new()));
+    }
+
+    #[test]
+    fn quorum_allreduce_topology_invariant() {
+        let members = vec![0usize, 2, 3, 5];
+        let vals: Vec<f64> = (0..6).map(|i| (i as f64) * 0.7 - 1.3).collect();
+        let base = run_quorum_on(
+            gpu_sim::TopologyKind::NvlinkAllToAll,
+            6,
+            members.clone(),
+            vals.clone(),
+            ReduceOp::Sum,
+        );
+        for kind in gpu_sim::TopologyKind::ALL {
+            let out = run_quorum_on(kind, 6, members.clone(), vals.clone(), ReduceOp::Sum);
+            assert_eq!(out, base, "kind={}", kind.name());
+        }
+        // And it matches the sequential fold over members in ascending order.
+        let member_vals: Vec<f64> = members.iter().map(|&pe| vals[pe]).collect();
+        let expect = reference_reduce(&member_vals, ReduceOp::Sum, false);
+        assert!(base
+            .iter()
+            .enumerate()
+            .all(|(pe, (v, _))| { !members.contains(&pe) || *v == expect }));
+    }
+
+    #[test]
+    fn quorum_of_one_is_identity() {
+        let out = run_quorum_on(
+            gpu_sim::TopologyKind::NvlinkRing,
+            4,
+            vec![1],
+            vec![0.0, 7.5, 0.0, 0.0],
+            ReduceOp::Max,
+        );
+        assert_eq!(out[1], (7.5, vec![1]));
+    }
+
+    #[test]
+    fn quorum_allreduce_reusable_as_membership_shrinks() {
+        // Epoch 1 over {0,1,2,3}, epoch 2 over {0,1,3}: the flow-control
+        // ack chain must stay satisfiable as the quorum shrinks.
+        let n = 4;
+        let machine = Machine::new(n, CostModel::a100_hgx(), ExecMode::Full);
+        let world = ShmemWorld::init(&machine);
+        let ws = AllreduceWs::new_ring(&world);
+        let survivors = vec![0usize, 1, 3];
+        let results = Arc::new(Mutex::new(vec![(0.0, 0.0); n]));
+        for pe in 0..n {
+            let world = world.clone();
+            let mut ws = ws.clone();
+            let survivors = survivors.clone();
+            let results = Arc::clone(&results);
+            machine.spawn_host(format!("rank{pe}"), move |host| {
+                let k = host.launch_cooperative(
+                    DevId(pe),
+                    "shrink",
+                    1024,
+                    vec![BlockGroup::new("g", 1, move |kc| {
+                        let mut sh = ShmemCtx::new(&world, kc);
+                        let mut retries = 0u64;
+                        let all = vec![0usize, 1, 2, 3];
+                        let (a, _) = allreduce_scalar_quorum(
+                            &mut sh,
+                            kc,
+                            &mut ws,
+                            pe as f64,
+                            ReduceOp::Sum,
+                            &all,
+                            &mut retries,
+                        );
+                        // PE 2 "dies" after epoch 1.
+                        if pe == 2 {
+                            results.lock()[pe] = (a, f64::NAN);
+                            return;
+                        }
+                        let (b, _) = allreduce_scalar_quorum(
+                            &mut sh,
+                            kc,
+                            &mut ws,
+                            pe as f64 * 10.0,
+                            ReduceOp::Sum,
+                            &survivors,
+                            &mut retries,
+                        );
+                        results.lock()[pe] = (a, b);
+                    })],
+                );
+                host.wait_cooperative(&k);
+            });
+        }
+        machine.run().unwrap();
+        let out = results.lock();
+        for &pe in &survivors {
+            assert_eq!(out[pe], (6.0, 40.0), "pe {pe}");
+        }
+        assert_eq!(out[2].0, 6.0);
     }
 
     #[test]

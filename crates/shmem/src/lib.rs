@@ -34,7 +34,8 @@
 pub mod collectives;
 
 pub use collectives::{
-    allreduce_scalar, allreduce_scalar_ft, broadcast, reference_reduce, AllreduceWs, ReduceOp,
+    allreduce_scalar, allreduce_scalar_ft, allreduce_scalar_quorum, broadcast, reference_reduce,
+    AllreduceWs, ReduceOp,
 };
 
 use gpu_sim::{Buf, Checker, DevId, FaultState, KernelCtx, Machine, Transport};
@@ -174,6 +175,74 @@ pub struct ShmemCtx {
     /// Async-effect stamps of outstanding `nbi` operations, absorbed into
     /// the agent's clock by [`ShmemCtx::quiet`].
     outstanding: Vec<AsyncClock>,
+    /// Retry policy for [`ShmemCtx::putmem_signal_reliable`]; `None` is the
+    /// legacy fixed policy (4 signal latencies, doubling, unbounded).
+    backoff: Option<BackoffPolicy>,
+}
+
+/// Retry-backoff policy for [`ShmemCtx::putmem_signal_reliable`].
+///
+/// The default (`BackoffPolicy::default()`, also what a fresh context uses)
+/// reproduces the historical hard-coded behavior exactly: first backoff of
+/// four signal latencies, doubling every retry, no cap, unlimited attempts,
+/// no jitter — existing fault-recovery timings are bit-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BackoffPolicy {
+    /// First backoff duration; `None` = four signal latencies.
+    pub base: Option<SimDur>,
+    /// Upper bound on any single backoff; `None` = uncapped doubling.
+    pub cap: Option<SimDur>,
+    /// Give up (panic with an attributed `retries exhausted` diagnostic)
+    /// after this many total attempts; `None` = retry forever.
+    pub max_attempts: Option<u32>,
+    /// Deterministic jitter seed. When set, each backoff is stretched into
+    /// `[delay/2, delay]` by a SplitMix64 hash of
+    /// `(seed, src, dst, attempt)` — the "equal jitter" scheme, but a pure
+    /// function of the plan, so runs stay bit-reproducible.
+    pub jitter_seed: Option<u64>,
+}
+
+impl BackoffPolicy {
+    /// Builder: first backoff duration.
+    pub fn with_base(mut self, base: SimDur) -> Self {
+        self.base = Some(base);
+        self
+    }
+
+    /// Builder: cap on a single backoff.
+    pub fn with_cap(mut self, cap: SimDur) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Builder: maximum total attempts before giving up.
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = Some(n);
+        self
+    }
+
+    /// Builder: deterministic jitter seed.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// The delay charged before retry number `attempt + 1`, given the
+    /// un-jittered exponential `delay` for this step and the route.
+    fn shape(&self, delay: SimDur, src: usize, dst: usize, attempt: u32) -> SimDur {
+        let mut d = delay;
+        if let Some(cap) = self.cap {
+            d = d.min(cap);
+        }
+        if let Some(seed) = self.jitter_seed {
+            let h = sim_des::mix64(
+                seed ^ sim_des::mix64(((src as u64) << 40) ^ ((dst as u64) << 20) ^ attempt as u64),
+            );
+            let half = d.as_nanos() / 2;
+            d = sim_des::SimDur(half + h % (half + 1));
+        }
+        d
+    }
 }
 
 impl ShmemCtx {
@@ -192,7 +261,14 @@ impl ShmemCtx {
             transport: world.machine().transport().clone(),
             checker: world.machine().checker(),
             outstanding: Vec::new(),
+            backoff: None,
         }
+    }
+
+    /// Install a retry-backoff policy for [`ShmemCtx::putmem_signal_reliable`]
+    /// (see [`BackoffPolicy`]; the default reproduces the legacy constants).
+    pub fn set_backoff_policy(&mut self, policy: BackoffPolicy) {
+        self.backoff = Some(policy);
     }
 
     /// The machine's checker, when enabled with `Machine::with_checker`.
@@ -500,11 +576,17 @@ impl ShmemCtx {
     }
 
     /// Retrying put + signal for fault-tolerant protocols: on a dropped
-    /// delivery the sender backs off exponentially (starting at four signal
-    /// latencies) and re-issues until the delivery lands. Returns the number
-    /// of attempts (1 on a healthy route). Deterministic: drop windows are
-    /// attempt-counted, so the retry sequence is a pure function of the
-    /// fault plan.
+    /// delivery the sender backs off exponentially and re-issues until the
+    /// delivery lands, shaped by the context's [`BackoffPolicy`] (base, cap,
+    /// max attempts, deterministic seeded jitter). Returns the number of
+    /// attempts (1 on a healthy route); each backoff span in the trace
+    /// carries the attempt number. Deterministic: drop windows are
+    /// attempt-counted and the jitter is a hash of the route and attempt,
+    /// so the retry sequence is a pure function of the fault plan.
+    ///
+    /// When the policy bounds `max_attempts` and the route keeps dropping,
+    /// the sender panics with a structured `retries exhausted` message —
+    /// surfacing as an attributed `SimError::AgentPanic`, never a hang.
     #[allow(clippy::too_many_arguments)]
     pub fn putmem_signal_reliable(
         &mut self,
@@ -519,18 +601,29 @@ impl ShmemCtx {
         sig_val: u64,
         pe: usize,
     ) -> u32 {
+        let policy = self.backoff.clone().unwrap_or_default();
         let mut attempts = 1u32;
-        let mut backoff = ctx.cost().shmem_signal() * 4;
+        let mut backoff = policy.base.unwrap_or(ctx.cost().shmem_signal() * 4);
         loop {
             if self.putmem_signal_inner(
                 ctx, dst, dst_off, src, src_off, len, sig, sig_op, sig_val, pe,
             ) {
                 return attempts;
             }
+            if let Some(max) = policy.max_attempts {
+                if attempts >= max {
+                    panic!(
+                        "retries exhausted: put_signal pe{} -> pe{pe} dropped {max} times \
+                         (policy max_attempts = {max})",
+                        self.pe
+                    );
+                }
+            }
+            let delay = policy.shape(backoff, self.pe, pe, attempts);
             ctx.busy(
                 Category::Comm,
-                format!("put_retry_backoff->pe{pe}"),
-                backoff,
+                format!("put_retry_backoff->pe{pe} attempt {attempts}"),
+                delay,
             );
             backoff = backoff * 2;
             attempts += 1;
@@ -1234,5 +1327,158 @@ mod tests {
             t_dev.as_nanos() * 2 < t_host.as_nanos(),
             "device path {t_dev} should be >2x faster than host path {t_host}"
         );
+    }
+
+    #[test]
+    fn backoff_shape_caps_and_jitters_deterministically() {
+        let plain = BackoffPolicy::default();
+        // No cap, no jitter: pass-through.
+        assert_eq!(plain.shape(us(8.0), 0, 1, 1), us(8.0));
+        // Cap clamps the exponential.
+        let capped = BackoffPolicy::default().with_cap(us(3.0));
+        assert_eq!(capped.shape(us(8.0), 0, 1, 1), us(3.0));
+        assert_eq!(capped.shape(us(2.0), 0, 1, 1), us(2.0));
+        // Equal jitter lands in [d/2, d], is a pure function of
+        // (seed, src, dst, attempt), and varies across attempts.
+        let jit = BackoffPolicy::default().with_jitter_seed(0xfeed);
+        let d = us(8.0);
+        let shaped: Vec<SimDur> = (1..=4).map(|a| jit.shape(d, 0, 1, a)).collect();
+        for s in &shaped {
+            assert!(
+                *s >= SimDur(d.as_nanos() / 2) && *s <= d,
+                "{s:?} outside [d/2, d]"
+            );
+        }
+        assert_eq!(
+            shaped,
+            (1..=4).map(|a| jit.shape(d, 0, 1, a)).collect::<Vec<_>>()
+        );
+        assert!(
+            shaped.windows(2).any(|w| w[0] != w[1]),
+            "jitter should vary across attempts: {shaped:?}"
+        );
+        // Different routes draw different jitter.
+        assert_ne!(jit.shape(d, 0, 1, 1), jit.shape(d, 1, 0, 1));
+    }
+
+    #[test]
+    fn reliable_put_retries_surface_attempts_in_trace() {
+        let (m, w) = setup(2);
+        m.set_fault_plan(sim_des::FaultPlan::new().with_drop(sim_des::DropFault {
+            from: 0,
+            to: 1,
+            first_attempt: 1,
+            count: 2,
+        }));
+        let arr = w.malloc("a", 8);
+        let sig = w.signal(0);
+        let w2 = w.clone();
+        let attempts = Arc::new(sim_des::lock::Mutex::new(0u32));
+        let attempts2 = Arc::clone(&attempts);
+        run_on_all_pes(&m, move |pe, k| {
+            let mut sh = ShmemCtx::new(&w2, k);
+            if pe == 0 {
+                sh.set_backoff_policy(
+                    BackoffPolicy::default()
+                        .with_base(us(1.0))
+                        .with_cap(us(2.0))
+                        .with_jitter_seed(7),
+                );
+                let src = k.machine().alloc(DevId(0), "src", 8);
+                src.fill(2.0);
+                *attempts2.lock() =
+                    sh.putmem_signal_reliable(k, &arr, 0, &src, 0, 8, &sig, SignalOp::Set, 1, 1);
+            } else {
+                sh.signal_wait_until(k, &sig, Cmp::Ge, 1);
+                assert_eq!(arr.local(1).get(7), 2.0);
+            }
+        });
+        m.run().unwrap();
+        assert_eq!(*attempts.lock(), 3, "two drops then success");
+        // The trace names each backoff span with its attempt number.
+        let trace = m.trace();
+        let labels: Vec<&str> = trace
+            .spans()
+            .iter()
+            .filter(|s| s.label.starts_with("put_retry_backoff"))
+            .map(|s| s.label.as_str())
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "put_retry_backoff->pe1 attempt 1",
+                "put_retry_backoff->pe1 attempt 2"
+            ]
+        );
+    }
+
+    #[test]
+    fn reliable_put_with_jitter_is_bit_deterministic() {
+        let run = || {
+            let (m, w) = setup(2);
+            m.set_fault_plan(sim_des::FaultPlan::new().with_drop(sim_des::DropFault {
+                from: 0,
+                to: 1,
+                first_attempt: 1,
+                count: 3,
+            }));
+            let arr = w.malloc("a", 8);
+            let sig = w.signal(0);
+            let w2 = w.clone();
+            run_on_all_pes(&m, move |pe, k| {
+                let mut sh = ShmemCtx::new(&w2, k);
+                if pe == 0 {
+                    sh.set_backoff_policy(
+                        BackoffPolicy::default()
+                            .with_base(us(2.0))
+                            .with_jitter_seed(42),
+                    );
+                    let src = k.machine().alloc(DevId(0), "src", 8);
+                    sh.putmem_signal_reliable(k, &arr, 0, &src, 0, 8, &sig, SignalOp::Set, 1, 1);
+                } else {
+                    sh.signal_wait_until(k, &sig, Cmp::Ge, 1);
+                }
+            });
+            m.run().unwrap()
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "same plan + seed must give identical end time"
+        );
+    }
+
+    #[test]
+    fn reliable_put_exhaustion_panics_with_attribution() {
+        let (m, w) = setup(2);
+        m.set_fault_plan(sim_des::FaultPlan::new().with_drop(sim_des::DropFault {
+            from: 0,
+            to: 1,
+            first_attempt: 1,
+            count: 100,
+        }));
+        let arr = w.malloc("a", 8);
+        let sig = w.signal(0);
+        let w2 = w.clone();
+        run_on_all_pes(&m, move |pe, k| {
+            let mut sh = ShmemCtx::new(&w2, k);
+            if pe == 0 {
+                sh.set_backoff_policy(BackoffPolicy::default().with_max_attempts(3));
+                let src = k.machine().alloc(DevId(0), "src", 8);
+                sh.putmem_signal_reliable(k, &arr, 0, &src, 0, 8, &sig, SignalOp::Set, 1, 1);
+            }
+            // pe1 does not wait: exhaustion must abort the run by itself.
+        });
+        match m.run() {
+            Err(sim_des::SimError::AgentPanic { message, .. }) => {
+                assert!(
+                    message.contains("retries exhausted")
+                        && message.contains("pe0 -> pe1")
+                        && message.contains("max_attempts = 3"),
+                    "unexpected message: {message}"
+                );
+            }
+            other => panic!("expected AgentPanic, got {other:?}"),
+        }
     }
 }

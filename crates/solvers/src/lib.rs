@@ -22,10 +22,12 @@
 #![warn(missing_docs)]
 
 pub mod cg;
+pub mod degraded;
 pub mod ft;
 pub mod kernels;
 pub mod problem;
 
 pub use cg::{run_baseline, run_cpu_free, CgResult};
+pub use degraded::{degraded_reference_cg, run_cpu_free_degraded, CgDegradedResult};
 pub use ft::{run_cpu_free_ft, CgFtConfig, CgFtResult};
 pub use problem::{PoissonProblem, ReduceOrder};

@@ -1,0 +1,470 @@
+//! Degraded-mode CPU-Free Jacobi: instead of rolling back to a checkpoint
+//! (see [`crate::ft`]), the surviving quorum **keeps going** when a PE
+//! crashes or a link dies — the chaos engine's graceful-degradation path.
+//!
+//! # Model
+//!
+//! * A [`sim_des::CrashFault`] is a *permanent* death at the start of
+//!   iteration `d`: the PE completed iterations `1..d` and pushed its
+//!   iteration-`d-1` halos, then stops forever. Membership is
+//!   plan-derived ([`gpu_sim::alive_at`] — "oracle membership"): every
+//!   survivor independently computes the same death schedule from the
+//!   shared fault plan, so no failure detector or agreement protocol is
+//!   simulated, and runs stay bit-deterministic.
+//! * Survivors **freeze the halo** a dead neighbor last committed: at the
+//!   neighbor's death iteration the newest halo layer is copied into the
+//!   other ping-pong generation, so every later sweep reads the
+//!   iteration-`d-1` boundary values. The dead PE's slab stays at its
+//!   last completed state; the global problem degrades into independent
+//!   sub-problems separated by frozen internal boundaries.
+//! * A **killed link** ([`sim_des::LinkFault::kill`]) between survivors
+//!   needs no protocol change at all: the transport reroutes every
+//!   delivery over surviving pairs (see [`gpu_sim::HealedRoutes`]), so
+//!   results are bit-identical to the fault-free run — only virtual time
+//!   changes. An unroutable partition surfaces as an attributed panic.
+//! * After the sweep loop the quorum proves the healed collectives work:
+//!   every survivor joins an [`nvshmem_sim::allreduce_scalar_quorum`] of
+//!   its local field sum and receives the identical total plus the
+//!   deterministic contribution report.
+//!
+//! The oracle for all of this is [`degraded_reference`]: a sequential
+//! full-grid sweep in which a dead PE's layers simply stop updating.
+//! Survivor slabs must match it **bit for bit** on every topology preset.
+
+use crate::config::StencilConfig;
+use crate::domain::{compute_phase, Domain};
+use crate::geometry::geometry_of;
+use cpufree_core::launch_cpu_free;
+use gpu_sim::{alive_at, BlockGroup, Buf, ExecMode, FaultPlan, KernelCtx, Place};
+use nvshmem_sim::{allreduce_scalar_quorum, AllreduceWs, BackoffPolicy, ReduceOp, ShmemCtx};
+use sim_des::lock::Mutex;
+use sim_des::{Category, Cmp, SignalOp, SimDur, SimError, SimTime};
+use std::sync::Arc;
+
+/// Configuration of a degraded-mode run.
+#[derive(Clone)]
+pub struct DegradedConfig {
+    /// The underlying stencil problem.
+    pub base: StencilConfig,
+    /// The deterministic fault schedule (empty plan = fault-free).
+    pub plan: FaultPlan,
+    /// Retry-backoff policy for the reliable halo puts (`None` = default).
+    pub backoff: Option<BackoffPolicy>,
+}
+
+impl DegradedConfig {
+    /// Degraded run of `base` under `plan` with the default backoff.
+    pub fn new(base: StencilConfig, plan: FaultPlan) -> DegradedConfig {
+        DegradedConfig {
+            base,
+            plan,
+            backoff: None,
+        }
+    }
+}
+
+/// A quorum allreduce result: the reduced value plus the contribution
+/// report (ascending member ids).
+type Agreement = (f64, Vec<usize>);
+
+/// Outcome of a degraded-mode run.
+#[derive(Debug, Clone)]
+pub struct DegradedExecuted {
+    /// End-to-end virtual time.
+    pub total: SimDur,
+    /// The surviving quorum (ascending PE ids) — the PEs whose results
+    /// are verified and checksummed.
+    pub quorum: Vec<usize>,
+    /// Max abs deviation of the survivors' slabs from the sequential
+    /// [`degraded_reference`] (`None` in timing-only / no-compute runs).
+    /// Bit-identical degradation means exactly `0.0`.
+    pub max_err: Option<f64>,
+    /// Order-sensitive checksum over the survivors' final slabs.
+    pub checksum: u64,
+    /// The healed quorum allreduce of the survivors' local field sums:
+    /// the reduced value plus the contribution report, identical on every
+    /// member (`None` in timing-only / no-compute runs).
+    pub agreed: Option<Agreement>,
+    /// Extra put attempts spent on dropped deliveries (all PEs).
+    pub retries: u64,
+    /// Link pairs dead by the end of the run (transfers between them were
+    /// rerouted).
+    pub dead_pairs: Vec<(usize, usize)>,
+}
+
+/// Run the CPU-Free stencil in degraded mode under `cfg.plan`.
+///
+/// Crashed PEs drop out permanently; survivors complete all iterations
+/// with frozen halos at the death boundaries and verify against
+/// [`degraded_reference`]. Killed links are rerouted transparently.
+pub fn run_cpu_free_degraded(cfg: &DegradedConfig) -> Result<DegradedExecuted, SimError> {
+    let dom = Arc::new(Domain::new(&cfg.base));
+    dom.machine.set_fault_plan(cfg.plan.clone());
+    let n = cfg.base.n_gpus;
+    let iters = cfg.base.iterations;
+    let quorum = alive_at(&cfg.plan, n, iters);
+    let ws = AllreduceWs::new_ring(&dom.world);
+
+    let retries = Arc::new(Mutex::new(0u64));
+    let agreed: Arc<Mutex<Vec<Option<Agreement>>>> = Arc::new(Mutex::new(vec![None; n]));
+
+    let dom_l = Arc::clone(&dom);
+    let cfg_l = cfg.clone();
+    let quorum_l = quorum.clone();
+    let retries_l = Arc::clone(&retries);
+    let agreed_l = Arc::clone(&agreed);
+    let end = launch_cpu_free(
+        &dom.machine.clone(),
+        "cpufree_degraded",
+        cfg.base.threads_per_block,
+        move |pe| {
+            let dom = Arc::clone(&dom_l);
+            let cfg = cfg_l.clone();
+            let quorum = quorum_l.clone();
+            let mut ws = ws.clone();
+            let retries = Arc::clone(&retries_l);
+            let agreed = Arc::clone(&agreed_l);
+            vec![BlockGroup::new("degraded", 1, move |k| {
+                let r = pe_body(k, &dom, &cfg, pe, n);
+                *retries.lock() += r;
+                // Survivors prove the healed collective: quorum allreduce
+                // of the local field sum, bitwise identical everywhere.
+                if quorum.contains(&pe) {
+                    let mut sh = ShmemCtx::new(&dom.world, k);
+                    if let Some(policy) = &cfg.backoff {
+                        sh.set_backoff_policy(policy.clone());
+                    }
+                    let value = local_field_sum(&dom, pe);
+                    let mut extra = 0u64;
+                    let res = allreduce_scalar_quorum(
+                        &mut sh,
+                        k,
+                        &mut ws,
+                        value,
+                        ReduceOp::Sum,
+                        &quorum,
+                        &mut extra,
+                    );
+                    *retries.lock() += extra;
+                    agreed.lock()[pe] = Some(res);
+                }
+            })]
+        },
+    )?;
+
+    let total = end.since(SimTime::ZERO);
+    let functional = cfg.base.exec == ExecMode::Full && !cfg.base.no_compute;
+    let max_err = functional.then(|| verify_degraded(&dom, &cfg.plan, &quorum));
+    let mut checksum = 0u64;
+    for &pe in &quorum {
+        checksum = checksum
+            .wrapping_mul(1_000_003)
+            .wrapping_add(dom.final_gen().local(pe).checksum());
+    }
+    let agreed_all = agreed.lock();
+    let agreed_result = quorum.first().and_then(|&pe| agreed_all[pe].clone());
+    // Every member must have received the *bitwise* identical reduction
+    // and report (compared through the bit pattern — exactness, not ≈).
+    let bits = |r: &Option<(f64, Vec<usize>)>| r.as_ref().map(|(v, m)| (v.to_bits(), m.clone()));
+    for &pe in &quorum {
+        assert_eq!(
+            bits(&agreed_all[pe]),
+            bits(&agreed_result),
+            "quorum allreduce diverged on pe{pe}"
+        );
+    }
+    let dead_pairs = dom.machine.faults().dead_pairs(end);
+    let retries = *retries.lock();
+    Ok(DegradedExecuted {
+        total,
+        quorum,
+        max_err,
+        checksum,
+        agreed: if functional { agreed_result } else { None },
+        retries,
+        dead_pairs,
+    })
+}
+
+/// One PE's degraded persistent loop; returns its retry count.
+fn pe_body(k: &mut KernelCtx<'_>, dom: &Domain, cfg: &DegradedConfig, pe: usize, n: usize) -> u64 {
+    let world = dom.world.clone();
+    let mut sh = ShmemCtx::new(&world, k);
+    if let Some(policy) = &cfg.backoff {
+        sh.set_backoff_policy(policy.clone());
+    }
+    let faults = dom.machine.faults();
+    let le = dom.layer_elems();
+    let layers = dom.layers(pe);
+    let w = dom.workload(pe);
+    let iters = dom.cfg.iterations;
+    // Death schedule — mine and my neighbors', derived from the shared
+    // plan (oracle membership).
+    let my_death = faults.crash_iteration(pe).map(|d| d.max(1));
+    let death_low = (pe > 0)
+        .then(|| faults.crash_iteration(pe - 1).map(|d| d.max(1)))
+        .flatten();
+    let death_high = (pe + 1 < n)
+        .then(|| faults.crash_iteration(pe + 1).map(|d| d.max(1)))
+        .flatten();
+    let mut retries = 0u64;
+
+    for t in 1..=iters {
+        // ① Scheduled death: drain in-flight puts (an nbi put reads its
+        // source at delivery time — the final halos must leave intact),
+        // scrub the slab (nobody may read it — the boundary values
+        // survivors need already live in their halos) and stop forever.
+        if my_death == Some(t) {
+            sh.quiet(k);
+            if k.exec_mode() == ExecMode::Full {
+                dom.gen[0].local(pe).fill(f64::NAN);
+                dom.gen[1].local(pe).fill(f64::NAN);
+            }
+            k.busy(Category::Api, "degraded.die", sim_des::us(1.0));
+            return retries;
+        }
+
+        // ② Halo waits, clamped at a dead neighbor's last commit. The
+        // `from` identity keeps any hang attributable to a wait-for edge.
+        if pe > 0 {
+            let target = death_low.map_or(t - 1, |d| (t - 1).min(d - 1));
+            sh.signal_wait_from(k, &dom.sig_from_low, Cmp::Ge, target, pe - 1);
+        }
+        if pe + 1 < n {
+            let target = death_high.map_or(t - 1, |d| (t - 1).min(d - 1));
+            sh.signal_wait_from(k, &dom.sig_from_high, Cmp::Ge, target, pe + 1);
+        }
+
+        // ③ Freeze a dying neighbor's halo: at its death iteration the
+        // newest halo (generation d-1, just waited for in this iteration's
+        // read generation) is copied into the other generation, so both
+        // ping-pong halves carry the final boundary forever after.
+        if k.exec_mode() == ExecMode::Full {
+            if death_low == Some(t) {
+                let mut row = vec![0.0; le];
+                dom.read_gen(t)
+                    .local(pe)
+                    .read_slice(dom.low_halo_off(), &mut row);
+                dom.write_gen(t)
+                    .local(pe)
+                    .write_slice(dom.low_halo_off(), &row);
+            }
+            if death_high == Some(t) {
+                let mut row = vec![0.0; le];
+                dom.read_gen(t)
+                    .local(pe)
+                    .read_slice(dom.high_halo_off(pe), &mut row);
+                dom.write_gen(t)
+                    .local(pe)
+                    .write_slice(dom.high_halo_off(pe), &row);
+            }
+        }
+
+        // ④ One full sweep, stretched by straggler windows.
+        let straggle = faults.compute_mult(pe, k.now());
+        let geo = Arc::clone(&dom.geo);
+        let read = dom.read_gen(t).local(pe).clone();
+        let write = dom.write_gen(t).local(pe).clone();
+        compute_phase(
+            k,
+            &w,
+            w.total_points(),
+            1.0,
+            1.0,
+            straggle,
+            "degraded.sweep",
+            || geo.sweep(&read, &write, (1, layers)),
+        );
+
+        // ⑤ Commit boundary layers to *living* neighbors' halos, reliably.
+        // (Transfers over a killed link reroute inside the transport.)
+        let wg = dom.write_gen(t);
+        if pe > 0 && death_low.is_none_or(|d| t < d) {
+            retries += (sh.putmem_signal_reliable(
+                k,
+                wg,
+                dom.high_halo_off(pe - 1),
+                wg.local(pe),
+                dom.first_layer_off(),
+                le,
+                &dom.sig_from_high,
+                SignalOp::Set,
+                t,
+                pe - 1,
+            ) - 1) as u64;
+        }
+        if pe + 1 < n && death_high.is_none_or(|d| t < d) {
+            retries += (sh.putmem_signal_reliable(
+                k,
+                wg,
+                dom.low_halo_off(),
+                wg.local(pe),
+                dom.last_layer_off(pe),
+                le,
+                &dom.sig_from_low,
+                SignalOp::Set,
+                t,
+                pe + 1,
+            ) - 1) as u64;
+        }
+        k.grid_sync();
+    }
+    retries
+}
+
+/// Deterministic sum of `pe`'s owned interior (ascending element order) —
+/// the value each survivor contributes to the final quorum allreduce.
+fn local_field_sum(dom: &Domain, pe: usize) -> f64 {
+    if dom.cfg.exec != ExecMode::Full || dom.cfg.no_compute {
+        return 0.0;
+    }
+    let le = dom.layer_elems();
+    let mut owned = vec![0.0; dom.layers(pe) * le];
+    dom.final_gen().local(pe).read_slice(le, &mut owned);
+    owned.iter().fold(0.0, |acc, v| acc + v)
+}
+
+/// The sequential oracle for degraded runs: a full-grid ping-pong sweep in
+/// which layers owned by a PE dead at iteration `t` (per [`alive_at`])
+/// simply stop updating — frozen at their last completed generation, just
+/// like the distributed frozen halos. Returns the final full grid.
+pub fn degraded_reference(cfg: &StencilConfig, plan: &FaultPlan) -> Vec<f64> {
+    let geo = geometry_of(cfg);
+    let slab = cfg.slab();
+    let n = cfg.n_gpus;
+    let mut cur = geo.init();
+    let len = cur.len();
+    for t in 1..=cfg.iterations {
+        let a = Buf::new(Place::Host, "degraded.ref.a", len);
+        let b = Buf::new(Place::Host, "degraded.ref.b", len);
+        a.write_slice(0, &cur);
+        b.write_slice(0, &cur); // dead + boundary layers carry forward
+        for pe in alive_at(plan, n, t) {
+            let start = slab.start(pe);
+            geo.sweep(&a, &b, (start + 1, start + slab.layers(pe)));
+        }
+        cur = b.to_vec();
+    }
+    cur
+}
+
+/// Max abs deviation of the survivors' owned slabs from
+/// [`degraded_reference`] — `0.0` when degradation is bit-exact.
+fn verify_degraded(dom: &Domain, plan: &FaultPlan, quorum: &[usize]) -> f64 {
+    let reference = degraded_reference(&dom.cfg, plan);
+    let le = dom.layer_elems();
+    let mut max = 0.0f64;
+    for &pe in quorum {
+        let layers = dom.layers(pe);
+        let start = dom.slab.start(pe);
+        let mut owned = vec![0.0; layers * le];
+        dom.final_gen().local(pe).read_slice(le, &mut owned);
+        let want = &reference[(start + 1) * le..(start + 1 + layers) * le];
+        for (got, want) in owned.iter().zip(want) {
+            max = max.max((got - want).abs());
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::TopologyKind;
+    use sim_des::{CrashFault, LinkFault, StragglerFault};
+
+    fn base(kind: TopologyKind) -> StencilConfig {
+        StencilConfig::square2d(32, 8, 4).with_topology(kind)
+    }
+
+    #[test]
+    fn fault_free_degraded_matches_plain_reference() {
+        let cfg = DegradedConfig::new(base(TopologyKind::NvlinkAllToAll), FaultPlan::new());
+        let out = run_cpu_free_degraded(&cfg).unwrap();
+        assert_eq!(out.quorum, vec![0, 1, 2, 3]);
+        assert_eq!(out.max_err, Some(0.0));
+        // With nobody dead the degraded reference IS the plain reference.
+        let geo = geometry_of(&cfg.base);
+        assert_eq!(
+            degraded_reference(&cfg.base, &cfg.plan),
+            geo.reference(cfg.base.iterations)
+        );
+        let (sum, report) = out.agreed.unwrap();
+        assert_eq!(report, vec![0, 1, 2, 3]);
+        assert!(sum.is_finite());
+    }
+
+    #[test]
+    fn single_pe_crash_survivors_match_degraded_reference_on_all_presets() {
+        let plan = FaultPlan::new().with_crash(CrashFault {
+            node: 2,
+            at_iteration: 4,
+        });
+        let mut checksums = Vec::new();
+        for kind in TopologyKind::ALL {
+            let cfg = DegradedConfig::new(base(kind), plan.clone());
+            let out = run_cpu_free_degraded(&cfg).unwrap();
+            assert_eq!(out.quorum, vec![0, 1, 3], "{}", kind.name());
+            assert_eq!(out.max_err, Some(0.0), "{}", kind.name());
+            let (_, report) = out.agreed.clone().unwrap();
+            assert_eq!(report, vec![0, 1, 3], "{}", kind.name());
+            checksums.push(out.checksum);
+        }
+        // Survivor results are topology-invariant (bit-identical).
+        assert!(checksums.windows(2).all(|w| w[0] == w[1]), "{checksums:?}");
+    }
+
+    #[test]
+    fn single_link_kill_is_bit_identical_to_fault_free() {
+        for kind in TopologyKind::ALL {
+            let clean =
+                run_cpu_free_degraded(&DegradedConfig::new(base(kind), FaultPlan::new())).unwrap();
+            // Kill the link between the two middle neighbors mid-run.
+            let plan = FaultPlan::new().with_link(LinkFault::kill(
+                1,
+                2,
+                SimTime::ZERO + sim_des::us(10.0),
+            ));
+            let out = run_cpu_free_degraded(&DegradedConfig::new(base(kind), plan)).unwrap();
+            assert_eq!(out.quorum, vec![0, 1, 2, 3], "{}", kind.name());
+            assert_eq!(out.max_err, Some(0.0), "{}", kind.name());
+            assert_eq!(out.checksum, clean.checksum, "{}", kind.name());
+            assert_eq!(out.dead_pairs, vec![(1, 2)], "{}", kind.name());
+            // Rerouting costs time, never correctness.
+            assert!(out.total >= clean.total, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn crash_plus_straggler_still_verifies() {
+        let plan = FaultPlan::new()
+            .with_crash(CrashFault {
+                node: 0,
+                at_iteration: 3,
+            })
+            .with_straggler(StragglerFault {
+                node: 1,
+                from: SimTime(0),
+                until: SimTime(u64::MAX),
+                compute_mult: 3.0,
+            });
+        let cfg = DegradedConfig::new(base(TopologyKind::PcieTree), plan);
+        let out = run_cpu_free_degraded(&cfg).unwrap();
+        assert_eq!(out.quorum, vec![1, 2, 3]);
+        assert_eq!(out.max_err, Some(0.0));
+    }
+
+    #[test]
+    fn degraded_run_is_deterministic() {
+        let plan = FaultPlan::new().with_crash(CrashFault {
+            node: 1,
+            at_iteration: 2,
+        });
+        let run = || {
+            let cfg = DegradedConfig::new(base(TopologyKind::NvlinkRing), plan.clone());
+            let out = run_cpu_free_degraded(&cfg).unwrap();
+            (out.total, out.checksum, out.agreed.clone())
+        };
+        assert_eq!(run(), run());
+    }
+}

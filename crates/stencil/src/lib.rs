@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod degraded;
 pub mod domain;
 pub mod ft;
 pub mod geometry;
@@ -28,6 +29,7 @@ pub mod grid2d;
 pub mod variants;
 
 pub use config::{Slab, StencilConfig, Workload};
+pub use degraded::{degraded_reference, run_cpu_free_degraded, DegradedConfig, DegradedExecuted};
 pub use domain::{Domain, Executed};
 pub use ft::{run_cpu_free_ft, FtConfig, FtExecuted};
 pub use geometry::{Geo2D, Geo3D, Geometry};
