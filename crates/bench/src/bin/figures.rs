@@ -285,9 +285,9 @@ fn sensitivity() {
     println!("(the CPU-Free advantage persists on slow links: it is a control-path effect)");
 }
 
-fn topo() {
+fn topo(jobs: usize) {
     println!("== Topology — shared-hop contention under concurrent cross-partition puts ==");
-    let rows = topo_contention();
+    let rows = topo_contention_jobs(jobs);
     println!(
         "{:<20} {:>6} {:>14} {:>14} {:>9}",
         "topology", "pairs", "per-transfer", "makespan", "slowdown"
@@ -412,10 +412,19 @@ fn check() {
 /// the byte-deterministic report to `target/chaos_report/report.txt` and a
 /// replayable reproducer JSON for the demo and for every violating case,
 /// then exits nonzero unless the sweep is clean and the demo reproduced.
-fn chaos(seeds: u64) -> i32 {
+fn chaos(seeds: u64, jobs: usize) -> i32 {
     use cpufree_bench::chaos::*;
+    // The worker count goes to stderr: stdout must be byte-identical at
+    // every `--jobs`, so re-run diffs can't be fooled by the echo.
+    eprintln!("[chaos sweep on {jobs} workers]");
     println!("== Deterministic chaos sweep — {seeds} seeds x 4 topologies x 2 workloads ==");
-    let report = chaos_sweep(seeds, true);
+    let report = match chaos_sweep_jobs(seeds, true, jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos sweep rejected: {e}");
+            return 2;
+        }
+    };
     let dir = std::path::Path::new("target/chaos_report");
     std::fs::create_dir_all(dir).expect("create target/chaos_report");
     let path = dir.join("report.txt");
@@ -498,9 +507,12 @@ fn chaos_replay(path: &str) -> i32 {
 /// program at every pipeline stage and GPU count. Writes the full report to
 /// `target/verify_report/report.txt` and exits nonzero on any diagnostic,
 /// so CI can gate on it and keep the report as an artifact.
-fn verify() -> i32 {
+fn verify(jobs: usize) -> i32 {
+    // Worker count on stderr only — stdout stays byte-identical at every
+    // `--jobs` (parallelism must be invisible in the report).
+    eprintln!("[verify corpus on {jobs} workers]");
     println!("== Static protocol verification — shipped programs, all stages ==");
-    let reports = verify_corpus();
+    let reports = verify_corpus_jobs(jobs);
     let mut dirty = 0usize;
     let mut full = String::new();
     for r in &reports {
@@ -531,16 +543,123 @@ fn verify() -> i32 {
     }
 }
 
+/// Deterministic half of `BENCH_des_core.json` — virtual end times and
+/// event counts from the engine. Byte-stable across machines and thread
+/// counts, so CI regenerates it and diffs against the committed file.
+fn des_core_deterministic_json(rows: &[DesCoreRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\":\"{}\",\"end_ns\":{},\"events\":{}}}",
+                r.name, r.end_ns, r.events
+            )
+        })
+        .collect();
+    format!("  \"deterministic\": [\n{}\n  ]", items.join(",\n"))
+}
+
+/// `figures des_core [--check]`: run the DES-core micro-benchmarks. Without
+/// `--check`, writes `BENCH_des_core.json` (deterministic block + measured
+/// events/sec snapshot). With `--check`, regenerates the deterministic
+/// block and requires the committed file to contain it byte for byte —
+/// the wall-clock half is never diffed.
+fn des_core(check: bool) -> i32 {
+    println!("== DES core — engine hot-path throughput ==");
+    let rows = des_core_rows();
+    println!(
+        "{:<28} {:>14} {:>10} {:>12} {:>14}",
+        "workload", "virtual end", "events", "wall", "events/sec"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>12}ns {:>10} {:>12} {:>14.0}",
+            r.name,
+            r.end_ns,
+            r.events,
+            format!("{:.2?}", r.wall),
+            r.events_per_sec()
+        );
+    }
+    let det = des_core_deterministic_json(&rows);
+    let path = "BENCH_des_core.json";
+    if check {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("reading {path}: {e}");
+                return 1;
+            }
+        };
+        if committed.contains(&det) {
+            println!("[{path} deterministic block is current]");
+            0
+        } else {
+            eprintln!(
+                "{path} is stale: the committed deterministic block differs from the \
+                 regenerated engine results.\nexpected block:\n{det}\n\
+                 Regenerate with `cargo run -p cpufree-bench --release --bin figures -- des_core`."
+            );
+            1
+        }
+    } else {
+        let measured: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"name\":\"{}\",\"wall_ns\":{},\"events_per_sec\":{:.0}}}",
+                    r.name,
+                    r.wall.as_nanos(),
+                    r.events_per_sec()
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\n{det},\n  \"measured\": [\n{}\n  ]\n}}\n",
+            measured.join(",\n")
+        );
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("[wrote {path}]");
+        0
+    }
+}
+
+/// Parse the value of `--<name> N` out of `args`, removing both tokens.
+/// A missing flag yields `default`; a present flag with a missing,
+/// non-numeric, or (when `reject_zero`) zero value exits 2 — degenerate
+/// sweep inputs must fail loudly, not silently fall back.
+fn parse_flag(args: &mut Vec<String>, name: &str, default: u64, reject_zero: bool) -> u64 {
+    let flag = format!("--{name}");
+    let Some(i) = args.iter().position(|a| *a == flag) else {
+        return default;
+    };
+    let value = args.get(i + 1).cloned();
+    match value.as_deref().map(str::parse::<u64>) {
+        Some(Ok(v)) if !(reject_zero && v == 0) => {
+            args.drain(i..=i + 1);
+            v
+        }
+        _ => {
+            eprintln!(
+                "invalid value for {flag}: {} (expected a positive integer)",
+                value.as_deref().unwrap_or("<missing>")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--json") {
         args.remove(i);
         JSON.store(true, Ordering::Relaxed);
     }
-    // `verify`, `chaos`, and `chaos-replay` are gates, not figures: run
-    // them alone and propagate their exit status.
+    let jobs = parse_flag(&mut args, "jobs", sim_des::default_jobs() as u64, true) as usize;
+    // `verify`, `chaos`, `chaos-replay`, and `des_core --check` are gates,
+    // not figures: run them alone and propagate their exit status.
     if args.iter().any(|a| a == "verify") {
-        std::process::exit(verify());
+        std::process::exit(verify(jobs));
     }
     if let Some(i) = args.iter().position(|a| a == "chaos-replay") {
         let Some(path) = args.get(i + 1) else {
@@ -550,13 +669,17 @@ fn main() {
         std::process::exit(chaos_replay(path));
     }
     if args.iter().any(|a| a == "chaos") {
-        let seeds = args
-            .iter()
-            .position(|a| a == "--seeds")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(cpufree_bench::chaos::DEFAULT_SEED_BUDGET);
-        std::process::exit(chaos(seeds));
+        let seeds = parse_flag(
+            &mut args,
+            "seeds",
+            cpufree_bench::chaos::DEFAULT_SEED_BUDGET,
+            true,
+        );
+        std::process::exit(chaos(seeds, jobs));
+    }
+    if args.iter().any(|a| a == "des_core") {
+        let check = args.iter().any(|a| a == "--check");
+        std::process::exit(des_core(check));
     }
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a == name);
@@ -605,7 +728,7 @@ fn main() {
         println!();
     }
     if want("topo") {
-        topo();
+        topo(jobs);
         println!();
     }
     if want("grid2d") {

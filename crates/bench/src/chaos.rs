@@ -537,38 +537,86 @@ pub fn degraded_plans() -> Vec<(&'static str, FaultPlan)> {
     ]
 }
 
+/// One enumerated-but-not-yet-run schedule of the sweep. Specs are built
+/// serially in deterministic case order; only the (pure, independent)
+/// simulations fan out across workers.
+struct CaseSpec {
+    id: String,
+    workload: ChaosWorkload,
+    topology: TopologyKind,
+    plan: FaultPlan,
+    /// `Some` for seeded checkpoint/restart schedules (classified against
+    /// the cell baseline), `None` for degraded-mode schedules.
+    base: Option<Baseline>,
+}
+
+/// Fault-free baselines for every (workload, topology) cell, computed on
+/// `jobs` workers in deterministic cell order.
+pub fn baselines_jobs(jobs: usize) -> Vec<((ChaosWorkload, TopologyKind), Baseline)> {
+    let cells: Vec<(ChaosWorkload, TopologyKind)> = ChaosWorkload::ALL
+        .into_iter()
+        .flat_map(|w| TopologyKind::ALL.into_iter().map(move |t| (w, t)))
+        .collect();
+    let bases = sim_des::par_map(jobs, cells.clone(), |(w, t)| baseline(w, t));
+    cells.into_iter().zip(bases).collect()
+}
+
 /// Run the full sweep: `seeds` seeded schedules plus the degraded-mode
 /// schedules for every (workload, topology) cell. Pure — writes nothing.
+/// Uses [`sim_des::default_jobs`] workers.
 pub fn chaos_sweep_cases(seeds: u64) -> Vec<ChaosCase> {
+    chaos_sweep_cases_jobs(seeds, sim_des::default_jobs())
+}
+
+/// [`chaos_sweep_cases`] on an explicit worker count. The case list and
+/// every outcome are independent of `jobs`: specs are enumerated serially
+/// in deterministic order, each schedule is a self-contained simulation,
+/// and [`sim_des::par_map`] collects results by input position — so the
+/// rendered report is byte-identical at every thread count.
+pub fn chaos_sweep_cases_jobs(seeds: u64, jobs: usize) -> Vec<ChaosCase> {
     let horizon = SimTime::ZERO + us(CHAOS_HORIZON_US);
-    let mut cases = Vec::new();
+    let bases = baselines_jobs(jobs);
+    let mut specs = Vec::new();
     for workload in ChaosWorkload::ALL {
         for topo in TopologyKind::ALL {
-            let base = baseline(workload, topo);
+            let base = bases
+                .iter()
+                .find(|((w, t), _)| *w == workload && *t == topo)
+                .map(|(_, b)| b.clone())
+                .expect("baseline cell missing");
             for seed in 0..seeds {
-                let plan = FaultPlan::from_seed(seed, CHAOS_NODES, horizon, CHAOS_ITERS);
-                let outcome = run_schedule(workload, topo, &plan, &base);
-                cases.push(ChaosCase {
+                specs.push(CaseSpec {
                     id: format!("{}_{}_seed{seed}", workload.name(), topo.name()),
                     workload,
                     topology: topo,
-                    plan,
-                    outcome,
+                    plan: FaultPlan::from_seed(seed, CHAOS_NODES, horizon, CHAOS_ITERS),
+                    base: Some(base.clone()),
                 });
             }
             for (label, plan) in degraded_plans() {
-                let outcome = run_degraded_schedule(workload, topo, &plan);
-                cases.push(ChaosCase {
+                specs.push(CaseSpec {
                     id: format!("{}_{}_{label}", workload.name(), topo.name()),
                     workload,
                     topology: topo,
                     plan,
-                    outcome,
+                    base: None,
                 });
             }
         }
     }
-    cases
+    sim_des::par_map(jobs, specs, |spec| {
+        let outcome = match &spec.base {
+            Some(base) => run_schedule(spec.workload, spec.topology, &spec.plan, base),
+            None => run_degraded_schedule(spec.workload, spec.topology, &spec.plan),
+        };
+        ChaosCase {
+            id: spec.id,
+            workload: spec.workload,
+            topology: spec.topology,
+            plan: spec.plan,
+            outcome,
+        }
+    })
 }
 
 /// The deliberately unreasonable plan of the seeded violation demo: a
@@ -635,13 +683,32 @@ pub fn shrink_demo() -> ShrinkDemo {
 }
 
 /// Run the complete chaos engine: the sweep plus (when `with_demo`) the
-/// seeded-violation shrink demo.
-pub fn chaos_sweep(seeds: u64, with_demo: bool) -> ChaosReport {
-    ChaosReport {
-        seeds,
-        cases: chaos_sweep_cases(seeds),
-        demo: with_demo.then(shrink_demo),
+/// seeded-violation shrink demo. Uses [`sim_des::default_jobs`] workers.
+///
+/// # Errors
+/// A degenerate budget (`seeds == 0`) is an error, not an empty report: a
+/// sweep that explores nothing must never read as a clean gate.
+pub fn chaos_sweep(seeds: u64, with_demo: bool) -> Result<ChaosReport, String> {
+    chaos_sweep_jobs(seeds, with_demo, sim_des::default_jobs())
+}
+
+/// [`chaos_sweep`] on an explicit worker count. `jobs == 0` is rejected
+/// like a zero seed budget (the caller asked for a sweep that cannot run).
+pub fn chaos_sweep_jobs(seeds: u64, with_demo: bool, jobs: usize) -> Result<ChaosReport, String> {
+    if seeds == 0 {
+        return Err(format!(
+            "chaos sweep needs a nonzero seed budget (got --seeds 0); \
+             the default is {DEFAULT_SEED_BUDGET}"
+        ));
     }
+    if jobs == 0 {
+        return Err("chaos sweep needs at least one worker (got --jobs 0)".to_string());
+    }
+    Ok(ChaosReport {
+        seeds,
+        cases: chaos_sweep_cases_jobs(seeds, jobs),
+        demo: with_demo.then(shrink_demo),
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -594,37 +594,45 @@ pub struct TopoRow {
 /// stay flat as pairs are added; routed topologies with shared hops
 /// (PCIe host bridges, ring arcs, the two-node NIC) queue and slow down.
 pub fn topo_contention() -> Vec<TopoRow> {
+    topo_contention_jobs(sim_des::default_jobs())
+}
+
+/// [`topo_contention`] on an explicit worker count: the (topology, pairs)
+/// cells are independent (fresh link state each), so they fan out across
+/// `jobs` workers; rows come back in deterministic cell order regardless
+/// of completion order.
+pub fn topo_contention_jobs(jobs: usize) -> Vec<TopoRow> {
     use gpu_sim::{CostModel, DevId, Topology, TopologyKind, Transport};
     use sim_des::SimTime;
     const N: usize = 8;
     const BYTES: u64 = 64 << 20;
     const REPS: u64 = 4;
     let cost = CostModel::a100_hgx();
-    let mut rows = Vec::new();
-    for kind in TopologyKind::ALL {
-        for pairs in [1usize, 2, 4] {
-            // Fresh link state per cell: the sweep measures queueing within
-            // one traffic pattern, not across cells.
-            let topo = Topology::build(kind, N, &cost);
-            let t = Transport::new(topo, cost.clone());
-            let mut makespan = SimDur::ZERO;
-            for i in 0..pairs {
-                let mut now = SimTime::ZERO;
-                for _ in 0..REPS {
-                    let dur = t.p2p(DevId(i), DevId(i + N / 2), BYTES, now);
-                    now += dur;
-                }
-                makespan = makespan.max(now.since(SimTime::ZERO));
+    let cells: Vec<(TopologyKind, usize)> = TopologyKind::ALL
+        .into_iter()
+        .flat_map(|kind| [1usize, 2, 4].into_iter().map(move |pairs| (kind, pairs)))
+        .collect();
+    sim_des::par_map(jobs, cells, |(kind, pairs)| {
+        // Fresh link state per cell: the sweep measures queueing within
+        // one traffic pattern, not across cells.
+        let topo = Topology::build(kind, N, &cost);
+        let t = Transport::new(topo, cost.clone());
+        let mut makespan = SimDur::ZERO;
+        for i in 0..pairs {
+            let mut now = SimTime::ZERO;
+            for _ in 0..REPS {
+                let dur = t.p2p(DevId(i), DevId(i + N / 2), BYTES, now);
+                now += dur;
             }
-            rows.push(TopoRow {
-                topology: kind.name(),
-                pairs,
-                per_transfer: makespan / REPS,
-                makespan,
-            });
+            makespan = makespan.max(now.since(SimTime::ZERO));
         }
-    }
-    rows
+        TopoRow {
+            topology: kind.name(),
+            pairs,
+            per_transfer: makespan / REPS,
+            makespan,
+        }
+    })
 }
 
 /// Extension: the handwritten 2D **grid**-decomposed stencil (four
@@ -890,6 +898,13 @@ pub fn speedup_pct(baseline: SimDur, ours: SimDur) -> f64 {
 /// clean. The `figures verify` subcommand and the CI `verify` job gate on
 /// this.
 pub fn verify_corpus() -> Vec<dace_sim::verify::VerifyReport> {
+    verify_corpus_jobs(sim_des::default_jobs())
+}
+
+/// [`verify_corpus`] on an explicit worker count: each (program, GPU count)
+/// cell verifies its four pipeline stages independently on the pool; the
+/// flattened report list keeps the serial emission order.
+pub fn verify_corpus_jobs(jobs: usize) -> Vec<dace_sim::verify::VerifyReport> {
     use dace_sim::transform::{
         gpu_persistent_kernel, mpi_to_nvshmem_with, nvshmem_array, PutGranularity,
     };
@@ -909,38 +924,163 @@ pub fn verify_corpus() -> Vec<dace_sim::verify::VerifyReport> {
         out.push(report);
     }
 
-    let mut out = Vec::new();
-    for &g in &GPU_COUNTS {
-        let setups: Vec<(&str, Sdfg, Bindings)> = vec![
-            {
+    let cells: Vec<(usize, &'static str)> = GPU_COUNTS
+        .iter()
+        .flat_map(|&g| [(g, "jacobi1d"), (g, "jacobi2d")])
+        .collect();
+    let per_cell = sim_des::par_map(jobs, cells, |(g, name)| {
+        let (frontend, user): (Sdfg, Bindings) = match name {
+            "jacobi1d" => {
                 let s = Jacobi1dSetup::new(64, 5, g);
-                ("jacobi1d", s.sdfg.clone(), s.user_bindings())
-            },
-            {
+                (s.sdfg.clone(), s.user_bindings())
+            }
+            _ => {
                 let s = Jacobi2dSetup::new(8, 8, 5, g);
-                ("jacobi2d", s.sdfg.clone(), s.user_bindings())
-            },
-        ];
-        for (name, frontend, user) in setups {
-            staged(name, &frontend, g, &user, "frontend", &mut out);
+                (s.sdfg.clone(), s.user_bindings())
+            }
+        };
+        let mut out = Vec::new();
+        staged(name, &frontend, g, &user, "frontend", &mut out);
 
-            let mut gpu = frontend.clone();
-            gpu_transform(&mut gpu);
-            staged(name, &gpu, g, &user, "gpu", &mut out);
+        let mut gpu = frontend.clone();
+        gpu_transform(&mut gpu);
+        staged(name, &gpu, g, &user, "gpu", &mut out);
 
-            let mut free = frontend.clone();
-            to_cpu_free(&mut free).expect("pipeline");
-            staged(name, &free, g, &user, "cpu_free", &mut out);
+        let mut free = frontend.clone();
+        to_cpu_free(&mut free).expect("pipeline");
+        staged(name, &free, g, &user, "cpu_free", &mut out);
 
-            let mut block = frontend.clone();
-            gpu_transform(&mut block);
-            mpi_to_nvshmem_with(&mut block, PutGranularity::Block).expect("mpi_to_nvshmem");
-            nvshmem_array(&mut block);
-            gpu_persistent_kernel(&mut block).expect("gpu_persistent_kernel");
-            staged(name, &block, g, &user, "cpu_free_block", &mut out);
+        let mut block = frontend.clone();
+        gpu_transform(&mut block);
+        mpi_to_nvshmem_with(&mut block, PutGranularity::Block).expect("mpi_to_nvshmem");
+        nvshmem_array(&mut block);
+        gpu_persistent_kernel(&mut block).expect("gpu_persistent_kernel");
+        staged(name, &block, g, &user, "cpu_free_block", &mut out);
+        out
+    });
+    per_cell.into_iter().flatten().collect()
+}
+
+/// One row of the DES-core micro-benchmark (`figures des_core`).
+///
+/// `end_ns` and `events` come from the deterministic engine and are
+/// CI-gated against the committed `BENCH_des_core.json`; `wall` is host
+/// wall clock and is recorded as a snapshot only (the events/sec
+/// trajectory), never diffed.
+#[derive(Debug, Clone)]
+pub struct DesCoreRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Virtual end time of the run, nanoseconds (deterministic).
+    pub end_ns: u64,
+    /// Engine events processed (deterministic).
+    pub events: u64,
+    /// Host wall clock of the run (measured).
+    pub wall: std::time::Duration,
+}
+
+impl DesCoreRow {
+    /// Measured engine throughput, events per host second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The DES hot-path workloads behind the committed events/sec trajectory:
+/// a two-agent signal ping-pong (pure handoff cost), a trace-heavy busy
+/// loop (the interned-label span path), an 8-agent barrier storm, and a
+/// batch of whole simulations on the [`sim_des::par_map`] pool.
+pub fn des_core_rows() -> Vec<DesCoreRow> {
+    use sim_des::{ns, Category, Cmp, Engine, SignalOp};
+    use std::time::Instant;
+
+    fn timed(name: &'static str, f: impl Fn() -> (u64, u64)) -> DesCoreRow {
+        let _ = f(); // warmup
+        let t0 = Instant::now();
+        let (end_ns, events) = f();
+        DesCoreRow {
+            name,
+            end_ns,
+            events,
+            wall: t0.elapsed(),
         }
     }
-    out
+
+    vec![
+        timed("pingpong_2x2000", || {
+            let engine = Engine::new();
+            engine.set_trace_enabled(false);
+            let f1 = engine.flag(0);
+            let f2 = engine.flag(0);
+            engine.spawn("a", move |ctx| {
+                for i in 1..=2000u64 {
+                    ctx.signal(f1, SignalOp::Set, i);
+                    ctx.wait_flag(f2, Cmp::Ge, i);
+                }
+            });
+            engine.spawn("b", move |ctx| {
+                for i in 1..=2000u64 {
+                    ctx.wait_flag(f1, Cmp::Ge, i);
+                    ctx.signal(f2, SignalOp::Set, i);
+                }
+            });
+            let end = engine.run().expect("pingpong run");
+            (end.as_nanos(), engine.events_processed())
+        }),
+        timed("trace_busy_4x1000", || {
+            let engine = Engine::new();
+            for a in 0..4u64 {
+                engine.spawn(format!("agent{a}"), move |ctx| {
+                    let label = ctx.intern("phase");
+                    for _ in 0..1000 {
+                        ctx.busy(Category::Compute, label, ns(100));
+                    }
+                });
+            }
+            let end = engine.run().expect("trace_busy run");
+            (end.as_nanos(), engine.events_processed())
+        }),
+        timed("barrier_8x200", || {
+            let engine = Engine::new();
+            engine.set_trace_enabled(false);
+            let bar = engine.barrier(8);
+            for i in 0..8 {
+                engine.spawn(format!("w{i}"), move |ctx| {
+                    for _ in 0..200 {
+                        ctx.advance(ns(50));
+                        ctx.barrier(bar);
+                    }
+                });
+            }
+            let end = engine.run().expect("barrier run");
+            (end.as_nanos(), engine.events_processed())
+        }),
+        timed("batch_8x_pingpong_2x200", || {
+            let runs = sim_des::par_map(sim_des::default_jobs(), (0..8u64).collect(), |_| {
+                let engine = Engine::new();
+                engine.set_trace_enabled(false);
+                let f1 = engine.flag(0);
+                let f2 = engine.flag(0);
+                engine.spawn("a", move |ctx| {
+                    for i in 1..=200u64 {
+                        ctx.signal(f1, SignalOp::Set, i);
+                        ctx.wait_flag(f2, Cmp::Ge, i);
+                    }
+                });
+                engine.spawn("b", move |ctx| {
+                    for i in 1..=200u64 {
+                        ctx.wait_flag(f1, Cmp::Ge, i);
+                        ctx.signal(f2, SignalOp::Set, i);
+                    }
+                });
+                let end = engine.run().expect("batch pingpong run");
+                (end.as_nanos(), engine.events_processed())
+            });
+            let end = runs.iter().map(|(e, _)| *e).max().unwrap_or(0);
+            let events = runs.iter().map(|(_, n)| *n).sum();
+            (end, events)
+        }),
+    ]
 }
 
 /// Minimal wall-clock micro-bench harness (std-only; the workspace builds

@@ -5,8 +5,8 @@
 //! unbounded recovery.
 
 use cpufree_bench::chaos::{
-    baseline, chaos_sweep, degraded_plans, run_degraded_schedule, run_schedule, ChaosWorkload,
-    CHAOS_HORIZON_US, CHAOS_ITERS, CHAOS_NODES,
+    baseline, chaos_sweep, chaos_sweep_jobs, degraded_plans, run_degraded_schedule, run_schedule,
+    ChaosWorkload, CHAOS_HORIZON_US, CHAOS_ITERS, CHAOS_NODES,
 };
 use gpu_sim::TopologyKind;
 use sim_des::{us, ChaosOutcome, FaultPlan, SimTime};
@@ -89,8 +89,36 @@ fn degraded_modes_hold_across_all_topologies() {
 /// identically: two sweeps render byte-for-byte the same report.
 #[test]
 fn chaos_sweep_is_deterministic() {
-    let a = chaos_sweep(3, false).render();
-    let b = chaos_sweep(3, false).render();
+    let a = chaos_sweep(3, false).expect("sweep").render();
+    let b = chaos_sweep(3, false).expect("sweep").render();
     assert_eq!(a, b, "same seed budget must render identical reports");
     assert!(a.contains("schedules explored"));
+}
+
+/// Parallelism is invisible in the output: the sweep renders the same
+/// bytes whether the cases ran on one worker or raced across eight.
+/// (Only identity is asserted — never wall clock; CI boxes may be 1-core.)
+#[test]
+fn chaos_report_is_byte_identical_across_worker_counts() {
+    let reference = chaos_sweep_jobs(3, false, 1).expect("sweep").render();
+    for jobs in [2usize, 8] {
+        let report = chaos_sweep_jobs(3, false, jobs).expect("sweep").render();
+        assert_eq!(
+            reference, report,
+            "report diverged between 1 and {jobs} workers"
+        );
+    }
+    assert!(reference.contains("schedules explored"));
+}
+
+/// Degenerate sweep inputs are rejected up front — a sweep that explores
+/// nothing must never masquerade as a clean gate.
+#[test]
+fn degenerate_sweep_inputs_error_cleanly() {
+    let zero_seeds = chaos_sweep_jobs(0, false, 4);
+    assert!(zero_seeds.is_err(), "seeds=0 must be an error");
+    assert!(zero_seeds.unwrap_err().contains("seed"));
+    let zero_jobs = chaos_sweep_jobs(3, false, 0);
+    assert!(zero_jobs.is_err(), "jobs=0 must be an error");
+    assert!(zero_jobs.unwrap_err().contains("jobs 0"));
 }

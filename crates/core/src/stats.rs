@@ -43,16 +43,16 @@ impl RunStats {
         // them. Merge both categories' intervals by measuring them jointly.
         let comm_like = trace.filter(|s| matches!(s.category, Category::Comm | Category::Sync));
         // Re-tag to one category so `busy` unions across both.
-        let mut joint = sim_des::Trace::new();
+        let mut joint = sim_des::Trace::with_pool(trace.pool().clone());
         for s in comm_like.spans() {
-            let mut s = s.clone();
+            let mut s = *s;
             s.category = Category::Comm;
             joint.push(s);
         }
         let comm_sync_busy = joint.busy(Category::Comm);
         for s in trace.spans() {
             if s.category == Category::Compute {
-                joint.push(s.clone());
+                joint.push(*s);
             }
         }
         let overlapped = joint.overlap(Category::Comm, Category::Compute);
@@ -93,23 +93,23 @@ mod tests {
     use super::*;
     use sim_des::{us, AgentId, SimTime, TraceSpan};
 
-    fn span(cat: Category, a: f64, b: f64) -> TraceSpan {
+    fn span(t: &Trace, cat: Category, a: f64, b: f64) -> TraceSpan {
         TraceSpan {
             agent: AgentId(0),
-            agent_name: "t".into(),
+            agent_name: t.intern("t"),
             start: SimTime::ZERO + us(a),
             end: SimTime::ZERO + us(b),
             category: cat,
-            label: String::new(),
+            label: sim_des::Sym::EMPTY,
         }
     }
 
     #[test]
     fn overlap_ratio_counts_sync_as_comm_path() {
         let mut t = Trace::new();
-        t.push(span(Category::Comm, 0.0, 10.0));
-        t.push(span(Category::Sync, 10.0, 20.0));
-        t.push(span(Category::Compute, 5.0, 15.0));
+        t.push(span(&t, Category::Comm, 0.0, 10.0));
+        t.push(span(&t, Category::Sync, 10.0, 20.0));
+        t.push(span(&t, Category::Compute, 5.0, 15.0));
         let s = RunStats::from_trace(&t, us(20.0), 1);
         // comm+sync busy = 20 µs, overlapped with compute = 10 µs.
         assert!((s.comm_overlap_ratio - 0.5).abs() < 1e-9, "{s:?}");

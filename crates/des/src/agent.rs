@@ -2,6 +2,7 @@
 
 use crate::engine::SimError;
 use crate::engine::{spawn_agent, AbortSim, BlockedInfo, Request, Shared, ShutdownUnwind, Turn};
+use crate::intern::{Label, Sym};
 use crate::lock::Condvar;
 use crate::sync::{Barrier, Cmp, Flag, SignalOp};
 use crate::time::{SimDur, SimTime};
@@ -29,6 +30,11 @@ pub struct WaitTimedOut {
 /// Methods that *block* (`advance`, `wait_flag`, `barrier`, `yield_now`) hand
 /// the execution token back to the scheduler; everything else is immediate
 /// and charges no virtual time.
+///
+/// Label-taking methods accept anything convertible to
+/// [`Label`](crate::Label): string literals and `format!` results work
+/// unchanged, while hot loops should pre-intern once via
+/// [`AgentCtx::intern`] and pass the [`Sym`] to skip per-event hashing.
 pub struct AgentCtx {
     shared: Arc<Shared>,
     id: AgentId,
@@ -48,6 +54,14 @@ impl AgentCtx {
     /// This agent's name.
     pub fn name(&self) -> String {
         self.shared.central.lock().agent_name(self.id).to_string()
+    }
+
+    /// Intern a string in the engine's symbol pool (no engine lock taken).
+    ///
+    /// Pre-intern per-iteration labels once, outside the loop, and pass the
+    /// returned [`Sym`] to [`AgentCtx::busy`] / [`AgentCtx::record`].
+    pub fn intern(&self, s: &str) -> Sym {
+        self.shared.pool.intern(s)
     }
 
     /// Current virtual time.
@@ -85,7 +99,7 @@ impl AgentCtx {
     ///
     /// This is the workhorse for modeled activities: compute phases, DMA
     /// initiation overheads, API call costs.
-    pub fn busy(&mut self, category: Category, label: impl Into<String>, dur: SimDur) {
+    pub fn busy<'a>(&mut self, category: Category, label: impl Into<Label<'a>>, dur: SimDur) {
         if dur.is_zero() {
             return;
         }
@@ -115,13 +129,20 @@ impl AgentCtx {
     /// label of the peer expected to deliver the signal (a wait-for-graph
     /// edge, see [`AgentCtx::set_identity`]). Used by deadlock / timeout
     /// diagnosis to report cycles instead of a flat blocked list.
-    pub fn wait_flag_from(&mut self, flag: Flag, cmp: Cmp, value: u64, from: impl Into<String>) {
+    pub fn wait_flag_from<'a>(
+        &mut self,
+        flag: Flag,
+        cmp: Cmp,
+        value: u64,
+        from: impl Into<Label<'a>>,
+    ) {
+        let from = from.into().intern(&self.shared.pool);
         self.handoff(Request::WaitFlag {
             flag,
             cmp,
             value,
             deadline: None,
-            expected_from: Some(from.into()),
+            expected_from: Some(from),
         });
     }
 
@@ -142,14 +163,14 @@ impl AgentCtx {
     }
 
     /// The general deadline wait: both a deadline and an optional declared
-    /// sender identity.
+    /// sender identity (pre-interned — see [`AgentCtx::intern`]).
     pub fn wait_flag_deadline(
         &mut self,
         flag: Flag,
         cmp: Cmp,
         value: u64,
         deadline: SimTime,
-        expected_from: Option<String>,
+        expected_from: Option<Sym>,
     ) -> Result<(), WaitTimedOut> {
         self.handoff(Request::WaitFlag {
             flag,
@@ -166,13 +187,13 @@ impl AgentCtx {
     }
 
     /// Block until `flag <cmp> value` holds, recording the wait as a span.
-    pub fn wait_flag_traced(
+    pub fn wait_flag_traced<'a>(
         &mut self,
         flag: Flag,
         cmp: Cmp,
         value: u64,
         category: Category,
-        label: impl Into<String>,
+        label: impl Into<Label<'a>>,
     ) {
         let start = self.now();
         self.wait_flag(flag, cmp, value);
@@ -210,11 +231,9 @@ impl AgentCtx {
 
     /// Declare this agent's logical identity (e.g. `"pe3"`), the node label
     /// used in wait-for-graph diagnostics.
-    pub fn set_identity(&self, identity: impl Into<String>) {
-        self.shared
-            .central
-            .lock()
-            .set_identity(self.id, identity.into());
+    pub fn set_identity<'a>(&self, identity: impl Into<Label<'a>>) {
+        let identity = identity.into().intern(&self.shared.pool);
+        self.shared.central.lock().set_identity(self.id, identity);
     }
 
     /// Snapshot of every live blocked agent (for watchdog agents).
@@ -250,11 +269,11 @@ impl AgentCtx {
     }
 
     /// Barrier arrival recorded as a trace span (category usually `Sync`).
-    pub fn barrier_traced(
+    pub fn barrier_traced<'a>(
         &mut self,
         barrier: Barrier,
         category: Category,
-        label: impl Into<String>,
+        label: impl Into<Label<'a>>,
     ) {
         let start = self.now();
         self.barrier(barrier);
@@ -336,11 +355,12 @@ impl AgentCtx {
     }
 
     /// Spawn a child agent, runnable at the current virtual time.
-    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> AgentId
+    pub fn spawn<'a, F>(&self, name: impl Into<Label<'a>>, f: F) -> AgentId
     where
         F: FnOnce(&mut AgentCtx) + Send + 'static,
     {
-        spawn_agent(&self.shared, name.into(), Some(self.id), f)
+        let name = name.into().intern(&self.shared.pool);
+        spawn_agent(&self.shared, name, Some(self.id), f)
     }
 
     /// The engine's happens-before tracker, when enabled.
@@ -350,22 +370,27 @@ impl AgentCtx {
 
     /// Record an arbitrary span (for activities whose time was charged
     /// elsewhere, e.g. a DMA that completed via `schedule_signal`).
-    pub fn record(
+    ///
+    /// Allocation-free when `label` is a pre-interned [`Sym`] or an
+    /// already-known string: the span stores 4-byte keys, not text.
+    pub fn record<'a>(
         &self,
         category: Category,
-        label: impl Into<String>,
+        label: impl Into<Label<'a>>,
         start: SimTime,
         end: SimTime,
     ) {
+        // Intern before taking the central lock (the pool has its own).
+        let label = label.into().intern(&self.shared.pool);
         let mut g = self.shared.central.lock();
-        let agent_name = g.agent_name(self.id).to_string();
+        let agent_name = g.agent_name_sym(self.id);
         g.record_span(TraceSpan {
             agent: self.id,
             agent_name,
             start,
             end,
             category,
-            label: label.into(),
+            label,
         });
     }
 }

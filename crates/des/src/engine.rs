@@ -19,16 +19,26 @@
 //! the same program therefore execute agents in the identical order and
 //! produce identical virtual end times (and identical buffer contents in the
 //! layers above).
+//!
+//! # Hot path
+//!
+//! The event queue is arena-allocated: the binary heap orders small
+//! `(time, seq, slot)` keys while action payloads live in a slab whose
+//! slots are recycled through a free list, so steady-state scheduling
+//! performs no allocation. All names (agents, identities, span labels,
+//! wait annotations) are interned [`Sym`]s; strings are materialized only
+//! when a diagnostic or report is rendered.
 
 use crate::agent::{AgentCtx, AgentId};
 use crate::fault::mix64;
 use crate::hb::{AsyncClock, HbTracker};
+use crate::intern::{Label, Sym, SymPool};
 use crate::lock::{Condvar, Mutex};
 use crate::sync::{Barrier, Cmp, Flag, SignalOp};
 use crate::time::{SimDur, SimTime};
 use crate::trace::{Trace, TraceSpan};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -156,7 +166,7 @@ pub(crate) enum Request {
         cmp: Cmp,
         value: u64,
         deadline: Option<SimTime>,
-        expected_from: Option<String>,
+        expected_from: Option<Sym>,
     },
     /// Block on an N-party barrier, optionally bounded by a deadline.
     Barrier {
@@ -193,31 +203,44 @@ enum Action {
     },
 }
 
-/// What a blocked agent is parked on (used to unhook it on timeout).
+/// What a blocked agent is parked on. Doubles as the "blocked on"
+/// diagnostic via `Display`, replacing the `format!` that used to allocate
+/// on every blocking wait — the description is rendered only when a
+/// deadlock/timeout/watchdog actually looks.
 #[derive(Clone, Copy)]
-enum WaitTarget {
-    Flag(Flag),
+enum BlockedOn {
+    Flag { flag: Flag, cmp: Cmp, value: u64 },
     Barrier(Barrier),
 }
 
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    action: Action,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockedOn::Flag { flag, cmp, value } => {
+                write!(f, "flag #{} {:?} {}", flag.0, cmp, value)
+            }
+            BlockedOn::Barrier(b) => write!(f, "barrier #{}", b.0),
+        }
     }
 }
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
+
+/// Heap key for the arena'd event queue: 20 bytes of ordering data. The
+/// action payload lives in the slab at `slot`, so heap sift operations move
+/// small keys instead of whole `Action`s (which embed clocks and boxed
+/// closures).
+#[derive(PartialEq, Eq)]
+struct HeapKey {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Scheduled {
+impl Ord for HeapKey {
     // Reversed: BinaryHeap is a max-heap, we want the earliest first.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.time, other.seq).cmp(&(self.time, self.seq))
@@ -240,20 +263,19 @@ struct BarrierState {
 }
 
 struct AgentSlot {
-    name: String,
+    name: Sym,
     cv: Arc<Condvar>,
     handle: Option<JoinHandle<()>>,
     alive: bool,
-    /// Human-readable description of what the agent is blocked on.
-    blocked_on: Option<String>,
     /// Logical identity (e.g. `"pe2"`) used as the node label in the
     /// wait-for graph. Set via [`AgentCtx::set_identity`].
-    identity: Option<String>,
+    identity: Option<Sym>,
     /// Identity of the peer this agent declared it is waiting for
     /// (wait-for-graph edge); cleared when the wait completes.
-    waiting_for: Option<String>,
-    /// The flag/barrier the agent is currently parked on, if any.
-    wait_target: Option<WaitTarget>,
+    waiting_for: Option<Sym>,
+    /// The flag/barrier the agent is currently parked on, if any. Also the
+    /// source of the human-readable "blocked on" description.
+    wait_target: Option<BlockedOn>,
     /// Bumped on every blocking wait; guards [`Action::TimeoutFire`]
     /// staleness.
     wait_epoch: u64,
@@ -266,14 +288,28 @@ pub(crate) struct Central {
     pub(crate) clock: SimTime,
     pub(crate) shutdown: bool,
     seq: u64,
-    queue: BinaryHeap<Scheduled>,
+    /// Ordering keys; payloads live in `slab`.
+    queue: BinaryHeap<HeapKey>,
+    /// Arena of pending actions, indexed by `HeapKey::slot`.
+    slab: Vec<Option<Action>>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
+    /// Total events popped from the queue (the engine's throughput unit).
+    events: u64,
     flags: Vec<FlagState>,
     barriers: Vec<BarrierState>,
     agents: Vec<AgentSlot>,
+    /// Identity label -> agent indices that declared it, in registration
+    /// order. Maintained incrementally by [`Central::set_identity`] so
+    /// wait-cycle detection never rebuilds a map from scratch.
+    by_identity: HashMap<Sym, Vec<usize>>,
     live_agents: usize,
     pub(crate) request: Option<(AgentId, Request)>,
     pub(crate) trace: Trace,
     trace_enabled: bool,
+    /// Shared with [`Shared::pool`]; lets lock-holding diagnostics resolve
+    /// names without reaching outside `Central`.
+    pool: Arc<SymPool>,
     /// Happens-before tracker; `None` (the default) records nothing.
     pub(crate) hb: Option<Arc<HbTracker>>,
     /// Seed for the wake-order perturbation; `None` keeps FIFO tie-breaks.
@@ -291,7 +327,30 @@ impl Central {
 
     fn push(&mut self, time: SimTime, action: Action) {
         let seq = self.next_seq();
-        self.queue.push(Scheduled { time, seq, action });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(action);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slab.len()).expect("event slab overflow");
+                self.slab.push(Some(action));
+                s
+            }
+        };
+        self.queue.push(HeapKey { time, seq, slot });
+    }
+
+    /// Pop the earliest event, returning its time and payload. The slab
+    /// slot is recycled immediately.
+    fn pop_event(&mut self) -> Option<(SimTime, Action)> {
+        let key = self.queue.pop()?;
+        self.events += 1;
+        let action = self.slab[key.slot as usize]
+            .take()
+            .expect("queued slab slot is empty");
+        self.free.push(key.slot);
+        Some((key.time, action))
     }
 
     /// Schedule a future signal application (e.g. a DMA completion).
@@ -373,13 +432,23 @@ impl Central {
     /// Forget a completed (or cancelled) blocking wait.
     fn clear_wait(&mut self, agent: AgentId) {
         let slot = &mut self.agents[agent.0];
-        slot.blocked_on = None;
         slot.waiting_for = None;
         slot.wait_target = None;
     }
 
-    pub(crate) fn set_identity(&mut self, id: AgentId, identity: String) {
+    /// Declare an agent's identity, keeping the `by_identity` index current.
+    pub(crate) fn set_identity(&mut self, id: AgentId, identity: Sym) {
+        let slot = &mut self.agents[id.0];
+        if slot.identity == Some(identity) {
+            return;
+        }
+        if let Some(old) = slot.identity.take() {
+            if let Some(v) = self.by_identity.get_mut(&old) {
+                v.retain(|&i| i != id.0);
+            }
+        }
         self.agents[id.0].identity = Some(identity);
+        self.by_identity.entry(identity).or_default().push(id.0);
     }
 
     /// Consume the agent's timed-out marker (set by a fired deadline).
@@ -391,32 +460,35 @@ impl Central {
     pub(crate) fn blocked_snapshot(&self) -> Vec<BlockedInfo> {
         self.agents
             .iter()
-            .filter(|a| a.alive && a.blocked_on.is_some())
+            .filter(|a| a.alive && a.wait_target.is_some())
             .map(|a| BlockedInfo {
-                name: a.name.clone(),
-                identity: a.identity.clone(),
-                blocked_on: a.blocked_on.clone().unwrap_or_default(),
-                waiting_for: a.waiting_for.clone(),
+                name: self.pool.resolve(a.name).to_string(),
+                identity: a.identity.map(|s| self.pool.resolve(s).to_string()),
+                blocked_on: a.wait_target.map(|w| w.to_string()).unwrap_or_default(),
+                waiting_for: a.waiting_for.map(|s| self.pool.resolve(s).to_string()),
             })
             .collect()
     }
 
+    /// The live blocked agent currently holding `ident`, preferring the most
+    /// recent registrant when several agents share an identity (a heuristic,
+    /// fine for diagnostics).
+    fn blocked_with_identity(&self, ident: Sym) -> Option<usize> {
+        self.by_identity
+            .get(&ident)?
+            .iter()
+            .rev()
+            .copied()
+            .find(|&i| matches!(&self.agents[i], a if a.alive && a.wait_target.is_some()))
+    }
+
     /// Find a wait-for cycle among blocked agents, following the
     /// `waiting_for` edges declared via `expected_from` annotations. Edges
-    /// point at identity labels; when several agents share an identity the
-    /// graph is a heuristic (the last registrant wins), which is fine for
-    /// diagnostics. Returns the agent NAMES on the first cycle found, or an
-    /// empty vector if the blocked set is acyclic / unannotated.
+    /// point at identity labels, resolved through the incrementally
+    /// maintained `by_identity` index. Returns the agent NAMES on the first
+    /// cycle found, or an empty vector if the blocked set is acyclic /
+    /// unannotated.
     pub(crate) fn wait_cycle(&self) -> Vec<String> {
-        let mut by_identity: std::collections::HashMap<&str, usize> =
-            std::collections::HashMap::new();
-        for (i, a) in self.agents.iter().enumerate() {
-            if a.alive && a.wait_target.is_some() {
-                if let Some(ident) = a.identity.as_deref() {
-                    by_identity.insert(ident, i);
-                }
-            }
-        }
         for (start, a) in self.agents.iter().enumerate() {
             if !(a.alive && a.wait_target.is_some()) {
                 continue;
@@ -427,19 +499,16 @@ impl Central {
                 if let Some(pos) = path.iter().position(|&p| p == cur) {
                     return path[pos..]
                         .iter()
-                        .map(|&p| self.agents[p].name.clone())
+                        .map(|&p| self.pool.resolve(self.agents[p].name).to_string())
                         .collect();
                 }
                 path.push(cur);
-                let Some(next_ident) = self.agents[cur].waiting_for.as_deref() else {
+                let Some(next_ident) = self.agents[cur].waiting_for else {
                     break;
                 };
-                let Some(&next) = by_identity.get(next_ident) else {
+                let Some(next) = self.blocked_with_identity(next_ident) else {
                     break;
                 };
-                if !(self.agents[next].alive && self.agents[next].wait_target.is_some()) {
-                    break;
-                }
                 cur = next;
             }
         }
@@ -473,14 +542,23 @@ impl Central {
         }
     }
 
-    pub(crate) fn agent_name(&self, id: AgentId) -> &str {
-        &self.agents[id.0].name
+    /// The agent's name, resolved from the pool (report paths only).
+    pub(crate) fn agent_name(&self, id: AgentId) -> Arc<str> {
+        self.pool.resolve(self.agents[id.0].name)
+    }
+
+    /// The agent's interned name (hot path: span recording).
+    pub(crate) fn agent_name_sym(&self, id: AgentId) -> Sym {
+        self.agents[id.0].name
     }
 }
 
 pub(crate) struct Shared {
     pub(crate) central: Mutex<Central>,
     pub(crate) sched_cv: Condvar,
+    /// The engine-wide symbol pool. Deliberately *outside* the central lock
+    /// so agents intern labels without serializing on the scheduler.
+    pub(crate) pool: Arc<SymPool>,
 }
 
 /// The deterministic virtual-time discrete-event engine.
@@ -516,6 +594,7 @@ impl Default for Engine {
 impl Engine {
     /// Create an empty engine at virtual time zero.
     pub fn new() -> Self {
+        let pool = Arc::new(SymPool::new());
         Engine {
             shared: Arc::new(Shared {
                 central: Mutex::new(Central {
@@ -524,18 +603,24 @@ impl Engine {
                     shutdown: false,
                     seq: 0,
                     queue: BinaryHeap::new(),
+                    slab: Vec::new(),
+                    free: Vec::new(),
+                    events: 0,
                     flags: Vec::new(),
                     barriers: Vec::new(),
                     agents: Vec::new(),
+                    by_identity: HashMap::new(),
                     live_agents: 0,
                     request: None,
-                    trace: Trace::new(),
+                    trace: Trace::with_pool(Arc::clone(&pool)),
                     trace_enabled: true,
+                    pool: Arc::clone(&pool),
                     hb: None,
                     jitter: None,
                     jitter_ctr: 0,
                 }),
                 sched_cv: Condvar::new(),
+                pool,
             }),
         }
     }
@@ -565,6 +650,24 @@ impl Engine {
         self.shared.central.lock().trace.clone()
     }
 
+    /// Intern a string in the engine's symbol pool. Pre-intern hot labels
+    /// once and pass the [`Sym`] to `busy`/`record` to keep the per-event
+    /// path allocation-free.
+    pub fn intern(&self, s: &str) -> Sym {
+        self.shared.pool.intern(s)
+    }
+
+    /// The engine's symbol pool (shared with its trace).
+    pub fn pool(&self) -> Arc<SymPool> {
+        Arc::clone(&self.shared.pool)
+    }
+
+    /// Total events processed (queue pops) so far — the numerator of the
+    /// engine's events/sec throughput metric.
+    pub fn events_processed(&self) -> u64 {
+        self.shared.central.lock().events
+    }
+
     /// Virtual time of the engine clock.
     pub fn now(&self) -> SimTime {
         self.shared.central.lock().clock
@@ -584,11 +687,12 @@ impl Engine {
     ///
     /// Returns its id. The closure runs on a dedicated OS thread, but only
     /// when the scheduler hands it the (single) execution token.
-    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> AgentId
+    pub fn spawn<'a, F>(&self, name: impl Into<Label<'a>>, f: F) -> AgentId
     where
         F: FnOnce(&mut AgentCtx) + Send + 'static,
     {
-        spawn_agent(&self.shared, name.into(), None, f)
+        let name = name.into().intern(&self.shared.pool);
+        spawn_agent(&self.shared, name, None, f)
     }
 
     /// Enable happens-before tracking, creating the tracker on first call.
@@ -638,7 +742,7 @@ impl Engine {
     fn drive(&self) -> Result<SimTime, SimError> {
         let mut g = self.shared.central.lock();
         loop {
-            let Some(next) = g.queue.pop() else {
+            let Some((time, action)) = g.pop_event() else {
                 if g.live_agents == 0 {
                     return Ok(g.clock);
                 }
@@ -647,12 +751,9 @@ impl Engine {
                     .agents
                     .iter()
                     .filter(|a| a.alive)
-                    .map(|a| {
-                        format!(
-                            "{}: {}",
-                            a.name,
-                            a.blocked_on.as_deref().unwrap_or("(unknown wait)")
-                        )
+                    .map(|a| match a.wait_target {
+                        Some(w) => format!("{}: {}", g.pool.resolve(a.name), w),
+                        None => format!("{}: (unknown wait)", g.pool.resolve(a.name)),
                     })
                     .collect();
                 let cycle = g.wait_cycle();
@@ -662,7 +763,7 @@ impl Engine {
                     cycle,
                 });
             };
-            if let Action::TimeoutFire { agent, epoch } = next.action {
+            if let Action::TimeoutFire { agent, epoch } = action {
                 let live = {
                     let slot = &g.agents[agent.0];
                     slot.alive && slot.wait_epoch == epoch && slot.wait_target.is_some()
@@ -672,12 +773,12 @@ impl Engine {
                     // touching the clock so it cannot distort end times.
                     continue;
                 }
-                g.clock = next.time;
+                g.clock = time;
                 match g.agents[agent.0].wait_target {
-                    Some(WaitTarget::Flag(f)) => {
-                        g.flags[f.0].waiters.retain(|&(a, _, _)| a != agent);
+                    Some(BlockedOn::Flag { flag, .. }) => {
+                        g.flags[flag.0].waiters.retain(|&(a, _, _)| a != agent);
                     }
-                    Some(WaitTarget::Barrier(b)) => {
+                    Some(BlockedOn::Barrier(b)) => {
                         g.barriers[b.0].waiting.retain(|&a| a != agent);
                     }
                     None => unreachable!("live timeout without wait target"),
@@ -688,9 +789,9 @@ impl Engine {
                 g.push(t, Action::Resume(agent));
                 continue;
             }
-            debug_assert!(next.time >= g.clock, "time went backwards");
-            g.clock = next.time;
-            match next.action {
+            debug_assert!(time >= g.clock, "time went backwards");
+            g.clock = time;
+            match action {
                 Action::TimeoutFire { .. } => unreachable!("handled above"),
                 Action::Signal {
                     flag,
@@ -739,10 +840,8 @@ impl Engine {
                             } else {
                                 let epoch = {
                                     let slot = &mut g.agents[agent.0];
-                                    slot.blocked_on =
-                                        Some(format!("flag #{} {:?} {}", flag.0, cmp, value));
                                     slot.waiting_for = expected_from;
-                                    slot.wait_target = Some(WaitTarget::Flag(flag));
+                                    slot.wait_target = Some(BlockedOn::Flag { flag, cmp, value });
                                     slot.wait_epoch += 1;
                                     slot.wait_epoch
                                 };
@@ -759,8 +858,7 @@ impl Engine {
                         } => {
                             let epoch = {
                                 let slot = &mut g.agents[agent.0];
-                                slot.blocked_on = Some(format!("barrier #{}", b.0));
-                                slot.wait_target = Some(WaitTarget::Barrier(b));
+                                slot.wait_target = Some(BlockedOn::Barrier(b));
                                 slot.wait_epoch += 1;
                                 slot.wait_epoch
                             };
@@ -798,7 +896,7 @@ impl Engine {
                             match kind {
                                 FinishKind::Ok => {}
                                 FinishKind::Panic(message) => {
-                                    let agent_name = g.agents[agent.0].name.clone();
+                                    let agent_name = g.agent_name(agent).to_string();
                                     return Err(SimError::AgentPanic {
                                         agent: agent_name,
                                         message,
@@ -849,7 +947,7 @@ pub(crate) struct ShutdownUnwind;
 
 pub(crate) fn spawn_agent<F>(
     shared: &Arc<Shared>,
-    name: String,
+    name: Sym,
     parent: Option<AgentId>,
     f: F,
 ) -> AgentId
@@ -869,7 +967,6 @@ where
             cv: Arc::clone(&cv),
             handle: None,
             alive: true,
-            blocked_on: None,
             identity: None,
             waiting_for: None,
             wait_target: None,

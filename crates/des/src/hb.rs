@@ -40,6 +40,7 @@
 //! never falsely reports one through a flag) for multi-writer flags.
 
 use crate::agent::AgentId;
+use crate::intern::{Sym, SymPool};
 use crate::lock::Mutex;
 use crate::sync::{Barrier, Flag};
 use crate::time::SimTime;
@@ -244,8 +245,11 @@ struct Access {
     write: bool,
     nbi_src: bool,
     range: (usize, usize),
-    who: String,
-    label: String,
+    /// Interned endpoint / label names — accesses are recorded on the hot
+    /// path (one per memory effect), so they carry 4-byte keys and the text
+    /// is resolved only when a race is actually reported.
+    who: Sym,
+    label: Sym,
     time: SimTime,
 }
 
@@ -255,15 +259,15 @@ impl Access {
         other.clock.get(self.owner) >= self.stamp
     }
 
-    fn describe(&self) -> String {
+    fn describe(&self, pool: &SymPool) -> String {
         format!(
             "{} {} [{}..{}) by `{}` ({}) at {}",
             if self.nbi_src { "nbi-source" } else { "" },
             if self.write { "write" } else { "read" },
             self.range.0,
             self.range.1,
-            self.who,
-            self.label,
+            pool.resolve(self.who),
+            pool.resolve(self.label),
             self.time,
         )
         .trim_start()
@@ -288,6 +292,8 @@ struct HbInner {
     diagnostics: Vec<Diagnostic>,
     suppressed: usize,
     n_accesses: usize,
+    /// Tracker-local interner for access endpoint/label names.
+    pool: SymPool,
 }
 
 impl HbInner {
@@ -365,8 +371,8 @@ impl HbInner {
                 format!(
                     "unordered conflicting accesses to `{}`: {} vs {}",
                     loc_name,
-                    a.describe(),
-                    access.describe()
+                    a.describe(&self.pool),
+                    access.describe(&self.pool)
                 ),
             ));
         }
@@ -572,6 +578,8 @@ impl HbTracker {
             let s = c.tick(comp);
             (s, c.clone())
         };
+        let who = g.pool.intern(who);
+        let label = g.pool.intern(label);
         g.insert_access(
             loc,
             loc_name,
@@ -582,8 +590,8 @@ impl HbTracker {
                 write,
                 nbi_src: false,
                 range: (lo, hi),
-                who: who.to_string(),
-                label: label.to_string(),
+                who,
+                label,
                 time,
             },
         );
@@ -607,6 +615,8 @@ impl HbTracker {
         label: &str,
     ) {
         let mut g = self.inner.lock();
+        let who = g.pool.intern(who);
+        let label = g.pool.intern(label);
         g.insert_access(
             loc,
             loc_name,
@@ -617,8 +627,8 @@ impl HbTracker {
                 write,
                 nbi_src,
                 range: (lo, hi),
-                who: who.to_string(),
-                label: label.to_string(),
+                who,
+                label,
                 time,
             },
         );
@@ -725,8 +735,8 @@ mod tests {
             write,
             nbi_src: false,
             range,
-            who: "t".into(),
-            label: "l".into(),
+            who: Sym::EMPTY,
+            label: Sym::EMPTY,
             time: SimTime::ZERO,
         }
     }

@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 
 mod agent;
+pub mod batch;
 pub mod chaos;
 mod engine;
 pub mod fault;
 pub mod hb;
+pub mod intern;
 pub mod lock;
 mod resource;
 mod sync;
@@ -34,12 +36,14 @@ mod time;
 pub mod trace;
 
 pub use agent::{AgentCtx, AgentId, WaitTimedOut};
+pub use batch::{default_jobs, par_map};
 pub use chaos::{
     classify_error, plan_from_json, plan_to_json, shrink, string_field, ChaosOutcome, FaultAtom,
 };
 pub use engine::{BlockedInfo, Engine, SimError};
 pub use fault::{mix64, CrashFault, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault};
 pub use hb::{AsyncClock, DiagKind, Diagnostic, HbEvent, HbEventKind, HbTracker, VClock};
+pub use intern::{Label, Sym, SymPool};
 pub use resource::{Reservation, Resource, ResourceStats};
 pub use sync::{Barrier, Cmp, Flag, SignalOp};
 pub use time::{ms, ns, us, SimDur, SimTime};
@@ -206,7 +210,7 @@ mod tests {
         let s = &trace.spans()[0];
         assert_eq!(s.category, Category::Compute);
         assert_eq!(s.dur(), us(12.0));
-        assert_eq!(s.agent_name, "worker");
+        assert_eq!(&*trace.resolve(s.agent_name), "worker");
     }
 
     #[test]

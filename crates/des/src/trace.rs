@@ -5,11 +5,17 @@
 //! in virtual time. Figures like the paper's "communication overlap ratio"
 //! (Fig 2.2b) are *measured* from these spans, not asserted: we take the union
 //! of communication spans and intersect it with the union of compute spans.
+//!
+//! Spans are `Copy` and 40-ish bytes: agent and label names are [`Sym`] keys
+//! into the trace's shared [`SymPool`], so recording a span on the hot path
+//! allocates nothing. Renderers resolve names back to text at report time.
 
 use crate::agent::AgentId;
+use crate::intern::{Sym, SymPool};
 use crate::time::{SimDur, SimTime};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Broad classification of a span, used by overlap/summary analyses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -55,20 +61,23 @@ impl Category {
 }
 
 /// One closed interval of activity attributed to an agent.
-#[derive(Debug, Clone)]
+///
+/// Names are interned [`Sym`] keys; resolve them through the owning trace
+/// ([`Trace::resolve`]) or its [`Trace::pool`].
+#[derive(Debug, Clone, Copy)]
 pub struct TraceSpan {
     /// The agent that performed the activity.
     pub agent: AgentId,
-    /// Human-readable agent name (e.g. `"gpu3.comm_top"`).
-    pub agent_name: String,
+    /// Interned agent name (e.g. `"gpu3.comm_top"`).
+    pub agent_name: Sym,
     /// Start of the activity.
     pub start: SimTime,
     /// End of the activity (`end >= start`).
     pub end: SimTime,
     /// Classification for analyses.
     pub category: Category,
-    /// Free-form label (e.g. `"halo put -> gpu2"`).
-    pub label: String,
+    /// Interned free-form label (e.g. `"halo put -> gpu2"`).
+    pub label: Sym,
 }
 
 impl TraceSpan {
@@ -78,16 +87,51 @@ impl TraceSpan {
     }
 }
 
-/// A completed simulation's trace: an ordered list of spans.
-#[derive(Debug, Clone, Default)]
+/// A completed simulation's trace: an ordered list of spans plus the symbol
+/// pool their names live in.
+#[derive(Debug, Clone)]
 pub struct Trace {
     spans: Vec<TraceSpan>,
+    pool: Arc<SymPool>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Trace {
-    /// Create an empty trace.
+    /// Create an empty trace with a fresh symbol pool.
     pub fn new() -> Self {
-        Self::default()
+        Trace {
+            spans: Vec::new(),
+            pool: Arc::new(SymPool::new()),
+        }
+    }
+
+    /// Create an empty trace sharing an existing symbol pool (the engine
+    /// passes its own so agent names and span labels resolve consistently).
+    pub fn with_pool(pool: Arc<SymPool>) -> Self {
+        Trace {
+            spans: Vec::new(),
+            pool,
+        }
+    }
+
+    /// The symbol pool spans of this trace are interned in.
+    pub fn pool(&self) -> &Arc<SymPool> {
+        &self.pool
+    }
+
+    /// Intern a string in this trace's pool (for custom recorders).
+    pub fn intern(&self, s: &str) -> Sym {
+        self.pool.intern(s)
+    }
+
+    /// Resolve an interned name back to text.
+    pub fn resolve(&self, sym: Sym) -> Arc<str> {
+        self.pool.resolve(sym)
     }
 
     /// Append a span (engine-internal, but public for custom recorders).
@@ -111,10 +155,11 @@ impl Trace {
         self.spans.is_empty()
     }
 
-    /// Spans matching a predicate, cloned into a new trace.
+    /// Spans matching a predicate, copied into a new trace sharing the pool.
     pub fn filter(&self, mut pred: impl FnMut(&TraceSpan) -> bool) -> Trace {
         Trace {
-            spans: self.spans.iter().filter(|s| pred(s)).cloned().collect(),
+            spans: self.spans.iter().filter(|s| pred(s)).copied().collect(),
+            pool: Arc::clone(&self.pool),
         }
     }
 
@@ -181,10 +226,10 @@ impl Trace {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
-        let mut agents: Vec<(AgentId, &str)> = Vec::new();
+        let mut agents: Vec<(AgentId, Sym)> = Vec::new();
         for s in &self.spans {
             if !agents.iter().any(|(id, _)| *id == s.agent) {
-                agents.push((s.agent, &s.agent_name));
+                agents.push((s.agent, s.agent_name));
             }
         }
         agents.sort_by_key(|(id, _)| *id);
@@ -199,7 +244,7 @@ impl Trace {
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
                  \"args\":{{\"name\":\"{}\"}}}}",
                 id.0,
-                esc(name)
+                esc(&self.resolve(*name))
             ));
         }
         for s in &self.spans {
@@ -210,7 +255,7 @@ impl Trace {
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\
                  \"dur\":{:.3},\"pid\":0,\"tid\":{}}}",
-                esc(&s.label),
+                esc(&self.resolve(s.label)),
                 s.category.tag(),
                 s.start.as_micros_f64(),
                 s.dur().as_micros_f64(),
@@ -235,9 +280,12 @@ impl Trace {
         let t0 = self.spans.iter().map(|s| s.start).min().unwrap();
         let t1 = self.spans.iter().map(|s| s.end).max().unwrap();
         let total = (t1.since(t0).as_nanos()).max(1);
-        let mut by_agent: BTreeMap<&str, Vec<&TraceSpan>> = BTreeMap::new();
+        let mut by_agent: BTreeMap<Arc<str>, Vec<&TraceSpan>> = BTreeMap::new();
         for s in &self.spans {
-            by_agent.entry(&s.agent_name).or_default().push(s);
+            by_agent
+                .entry(self.resolve(s.agent_name))
+                .or_default()
+                .push(s);
         }
         let name_w = by_agent.keys().map(|n| n.len()).max().unwrap_or(4).max(5);
         let _ = writeln!(
@@ -323,22 +371,24 @@ mod tests {
     use super::*;
     use crate::time::us;
 
-    fn span(cat: Category, a: u64, b: u64) -> TraceSpan {
+    fn span(t: &Trace, cat: Category, a: u64, b: u64) -> TraceSpan {
         TraceSpan {
             agent: AgentId(0),
-            agent_name: "t".into(),
+            agent_name: t.intern("t"),
             start: SimTime(a),
             end: SimTime(b),
             category: cat,
-            label: String::new(),
+            label: Sym::EMPTY,
         }
     }
 
     #[test]
     fn totals_and_busy_differ_under_overlap() {
         let mut t = Trace::new();
-        t.push(span(Category::Comm, 0, 100));
-        t.push(span(Category::Comm, 50, 150));
+        let s1 = span(&t, Category::Comm, 0, 100);
+        let s2 = span(&t, Category::Comm, 50, 150);
+        t.push(s1);
+        t.push(s2);
         assert_eq!(t.total(Category::Comm).as_nanos(), 200);
         assert_eq!(t.busy(Category::Comm).as_nanos(), 150);
     }
@@ -346,8 +396,10 @@ mod tests {
     #[test]
     fn overlap_between_categories() {
         let mut t = Trace::new();
-        t.push(span(Category::Comm, 0, 100));
-        t.push(span(Category::Compute, 60, 200));
+        let s1 = span(&t, Category::Comm, 0, 100);
+        let s2 = span(&t, Category::Compute, 60, 200);
+        t.push(s1);
+        t.push(s2);
         assert_eq!(t.overlap(Category::Comm, Category::Compute).as_nanos(), 40);
         let r = t.overlap_ratio(Category::Comm, Category::Compute);
         assert!((r - 0.4).abs() < 1e-12);
@@ -375,8 +427,10 @@ mod tests {
     #[test]
     fn timeline_renders_rows() {
         let mut t = Trace::new();
-        t.push(span(Category::Compute, 0, us(10.0).as_nanos()));
-        t.push(span(Category::Comm, 0, us(5.0).as_nanos()));
+        let s1 = span(&t, Category::Compute, 0, us(10.0).as_nanos());
+        let s2 = span(&t, Category::Comm, 0, us(5.0).as_nanos());
+        t.push(s1);
+        t.push(s2);
         let s = t.render_timeline(40);
         assert!(s.contains('#'));
         assert!(s.contains("legend"));
@@ -385,14 +439,15 @@ mod tests {
     #[test]
     fn chrome_json_is_well_formed() {
         let mut t = Trace::new();
-        t.push(TraceSpan {
+        let s = TraceSpan {
             agent: AgentId(3),
-            agent_name: "gpu0.\"comm\"".into(),
+            agent_name: t.intern("gpu0.\"comm\""),
             start: SimTime(1000),
             end: SimTime(3500),
             category: Category::Comm,
-            label: "halo \"put\"".into(),
-        });
+            label: t.intern("halo \"put\""),
+        };
+        t.push(s);
         let json = t.to_chrome_json();
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with("]}"));
@@ -421,11 +476,22 @@ mod tests {
     }
 
     #[test]
-    fn filter_clones_matching_spans() {
+    fn filter_copies_matching_spans_and_shares_pool() {
         let mut t = Trace::new();
-        t.push(span(Category::Comm, 0, 10));
-        t.push(span(Category::Compute, 0, 10));
+        let s1 = span(&t, Category::Comm, 0, 10);
+        let s2 = span(&t, Category::Compute, 0, 10);
+        t.push(s1);
+        t.push(s2);
         let only = t.filter(|s| s.category == Category::Comm);
         assert_eq!(only.len(), 1);
+        assert_eq!(&*only.resolve(only.spans()[0].agent_name), "t");
+    }
+
+    #[test]
+    fn spans_are_copy_and_small() {
+        // The hot path moves spans by value; keep them register-friendly.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<TraceSpan>();
+        assert!(std::mem::size_of::<TraceSpan>() <= 48);
     }
 }

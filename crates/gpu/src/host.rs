@@ -175,7 +175,13 @@ impl<'a> HostCtx<'a> {
     }
 
     /// Block on a host flag (e.g. completion of a cooperative kernel elsewhere).
-    pub fn wait_flag(&mut self, flag: Flag, cmp: Cmp, value: u64, label: impl Into<String>) {
+    pub fn wait_flag<'l>(
+        &mut self,
+        flag: Flag,
+        cmp: Cmp,
+        value: u64,
+        label: impl Into<sim_des::Label<'l>>,
+    ) {
         self.agent
             .wait_flag_traced(flag, cmp, value, Category::Sync, label);
     }

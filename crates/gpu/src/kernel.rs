@@ -117,7 +117,12 @@ impl<'a> KernelCtx<'a> {
     }
 
     /// Charge virtual time with a trace span.
-    pub fn busy(&mut self, category: Category, label: impl Into<String>, dur: SimDur) {
+    pub fn busy<'l>(
+        &mut self,
+        category: Category,
+        label: impl Into<sim_des::Label<'l>>,
+        dur: SimDur,
+    ) {
         self.agent.busy(category, label, dur);
     }
 
@@ -151,9 +156,9 @@ impl<'a> KernelCtx<'a> {
     /// A device compute phase: charges roofline time for moving `bytes` and
     /// executing `flops` on `fraction` of the device, then runs `work` (the
     /// actual arithmetic) if the machine executes functionally.
-    pub fn compute(
+    pub fn compute<'l>(
         &mut self,
-        label: impl Into<String>,
+        label: impl Into<sim_des::Label<'l>>,
         bytes: u64,
         flops: u64,
         fraction: f64,
@@ -172,14 +177,14 @@ impl<'a> KernelCtx<'a> {
     ///
     /// This is the Baseline-P2P communication style: GPU-initiated data
     /// movement, but synchronous with respect to the issuing kernel.
-    pub fn p2p_copy(
+    pub fn p2p_copy<'l>(
         &mut self,
         dst: &Buf,
         dst_off: usize,
         src: &Buf,
         src_off: usize,
         len: usize,
-        label: impl Into<String>,
+        label: impl Into<sim_des::Label<'l>>,
     ) {
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
         let (dur, _) =

@@ -241,7 +241,7 @@ impl Machine {
 
     /// Spawn a host rank (one CPU thread controlling GPUs, as in the
     /// OpenMP/MPI style of NVIDIA's multi-GPU samples).
-    pub fn spawn_host<F>(&self, name: impl Into<String>, f: F)
+    pub fn spawn_host<'a, F>(&self, name: impl Into<sim_des::Label<'a>>, f: F)
     where
         F: FnOnce(&mut HostCtx<'_>) + Send + 'static,
     {

@@ -1397,11 +1397,11 @@ mod tests {
         assert_eq!(*attempts.lock(), 3, "two drops then success");
         // The trace names each backoff span with its attempt number.
         let trace = m.trace();
-        let labels: Vec<&str> = trace
+        let labels: Vec<String> = trace
             .spans()
             .iter()
-            .filter(|s| s.label.starts_with("put_retry_backoff"))
-            .map(|s| s.label.as_str())
+            .map(|s| trace.resolve(s.label).to_string())
+            .filter(|l| l.starts_with("put_retry_backoff"))
             .collect();
         assert_eq!(
             labels,

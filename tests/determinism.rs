@@ -15,11 +15,11 @@ fn span_lines(trace: &sim_des::Trace) -> Vec<String> {
         .map(|s| {
             format!(
                 "{}|{:?}|{}|{}|{}",
-                s.agent_name,
+                trace.resolve(s.agent_name),
                 s.category,
                 s.start.as_nanos(),
                 s.end.as_nanos(),
-                s.label
+                trace.resolve(s.label)
             )
         })
         .collect()

@@ -2,6 +2,10 @@
 //! *bit-identical* field as every CPU-controlled baseline, on every
 //! interconnect topology preset, under perturbed schedules. The protocols
 //! may only change when data moves — never what arrives.
+//!
+//! Each (topology, seed) cell is a self-contained bundle of simulations,
+//! so the cells fan out on the [`sim_des::par_map`] pool; assertions run
+//! serially afterwards in deterministic cell order.
 
 use cpufree_solvers::{run_baseline, run_cpu_free, PoissonProblem};
 use gpu_sim::{ExecMode, TopologyKind};
@@ -16,48 +20,78 @@ const BASELINES: [Variant; 4] = [
     Variant::BaselineNvshmem,
 ];
 
+fn cells() -> Vec<(TopologyKind, Option<u64>)> {
+    TopologyKind::ALL
+        .into_iter()
+        .flat_map(|t| SEEDS.into_iter().map(move |s| (t, s)))
+        .collect()
+}
+
+/// What one stencil cell produced: the CPU-Free result plus every
+/// baseline's, in [`BASELINES`] order.
+struct StencilCell {
+    free_checksum: u64,
+    free_max_err: Option<f64>,
+    baselines: Vec<(u64, Option<f64>)>,
+}
+
 #[test]
 fn cpu_free_matches_every_baseline_on_every_topology() {
-    let mut reference_checksum = None;
-    for topology in TopologyKind::ALL {
-        for seed in SEEDS {
+    let cases = cells();
+    let results = sim_des::par_map(
+        sim_des::default_jobs(),
+        cases.clone(),
+        |(topology, seed)| {
             let mut cfg = StencilConfig::square2d(34, 6, 4).with_topology(topology);
             if let Some(s) = seed {
                 cfg = cfg.with_jitter(s);
             }
             let free = Variant::CpuFree.run(&cfg);
-            assert_eq!(
-                free.max_err,
-                Some(0.0),
-                "CpuFree wrong on {} seed {seed:?}",
-                topology.name()
-            );
-            // One global reference: the numerics are also invariant across
-            // topologies and schedules.
-            let reference = *reference_checksum.get_or_insert(free.checksum);
-            assert_eq!(
-                free.checksum,
-                reference,
-                "CpuFree checksum drifted on {} seed {seed:?}",
-                topology.name()
-            );
-            for baseline in BASELINES {
-                let out = baseline.run(&cfg);
-                assert_eq!(
-                    out.max_err,
-                    Some(0.0),
-                    "{} wrong on {} seed {seed:?}",
-                    baseline.label(),
-                    topology.name()
-                );
-                assert_eq!(
-                    out.checksum,
-                    free.checksum,
-                    "{} differs from CpuFree on {} seed {seed:?}",
-                    baseline.label(),
-                    topology.name()
-                );
+            let baselines = BASELINES
+                .iter()
+                .map(|b| {
+                    let out = b.run(&cfg);
+                    (out.checksum, out.max_err)
+                })
+                .collect();
+            StencilCell {
+                free_checksum: free.checksum,
+                free_max_err: free.max_err,
+                baselines,
             }
+        },
+    );
+    // One global reference: the numerics are also invariant across
+    // topologies and schedules.
+    let reference = results[0].free_checksum;
+    for (&(topology, seed), cell) in cases.iter().zip(&results) {
+        assert_eq!(
+            cell.free_max_err,
+            Some(0.0),
+            "CpuFree wrong on {} seed {seed:?}",
+            topology.name()
+        );
+        assert_eq!(
+            cell.free_checksum,
+            reference,
+            "CpuFree checksum drifted on {} seed {seed:?}",
+            topology.name()
+        );
+        for (baseline, &(checksum, max_err)) in BASELINES.iter().zip(&cell.baselines) {
+            assert_eq!(
+                max_err,
+                Some(0.0),
+                "{} wrong on {} seed {seed:?}",
+                baseline.label(),
+                topology.name()
+            );
+            assert_eq!(
+                checksum,
+                cell.free_checksum,
+                "{} differs from CpuFree on {} seed {seed:?}",
+                baseline.label(),
+                topology.name()
+            );
         }
     }
 }
@@ -69,26 +103,32 @@ fn cpu_free_matches_every_baseline_on_every_topology() {
 /// against each other.
 #[test]
 fn cg_variants_match_order_matched_reference_everywhere() {
-    for topology in TopologyKind::ALL {
-        for seed in SEEDS {
+    let cases = cells();
+    let results = sim_des::par_map(
+        sim_des::default_jobs(),
+        cases.clone(),
+        |(topology, seed)| {
             let mut prob = PoissonProblem::new(18, 20, 6, 4).with_topology(topology);
             if let Some(s) = seed {
                 prob = prob.with_jitter(s);
             }
             let free = run_cpu_free(&prob, ExecMode::Full);
-            assert_eq!(
-                free.verify(&prob),
-                0.0,
-                "CPU-Free CG wrong on {} seed {seed:?}",
-                topology.name()
-            );
             let base = run_baseline(&prob, ExecMode::Full);
-            assert_eq!(
-                base.verify(&prob),
-                0.0,
-                "baseline CG wrong on {} seed {seed:?}",
-                topology.name()
-            );
-        }
+            (free.verify(&prob), base.verify(&prob))
+        },
+    );
+    for (&(topology, seed), &(free_err, base_err)) in cases.iter().zip(&results) {
+        assert_eq!(
+            free_err,
+            0.0,
+            "CPU-Free CG wrong on {} seed {seed:?}",
+            topology.name()
+        );
+        assert_eq!(
+            base_err,
+            0.0,
+            "baseline CG wrong on {} seed {seed:?}",
+            topology.name()
+        );
     }
 }

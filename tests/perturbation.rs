@@ -4,6 +4,10 @@
 //! unperturbed schedule. Any divergence would mean the protocols depend on
 //! a particular interleaving of simultaneously-woken agents — i.e. a race.
 //!
+//! The (topology, seed) cases are independent whole simulations, so they
+//! fan out on the [`sim_des::par_map`] pool; results come back in
+//! deterministic case order and every assertion runs serially afterwards.
+//!
 //! On failure, the checker diagnostics are dumped to
 //! `target/checker_diagnostics/` so CI can upload them as an artifact.
 
@@ -27,33 +31,49 @@ fn dump_if_dirty(name: &str, report: &CheckReport) -> String {
     text
 }
 
+/// `None` = the unjittered reference schedule of a topology cell.
+fn cases_for<T: Copy>(cells: &[T]) -> Vec<(T, Option<u64>)> {
+    cells
+        .iter()
+        .flat_map(|&c| std::iter::once((c, None)).chain(SEEDS.iter().map(move |&s| (c, Some(s)))))
+        .collect()
+}
+
 #[test]
 fn jacobi_perturbed_schedules_clean_and_bit_identical() {
-    for topology in TOPOLOGIES {
-        let base_cfg = StencilConfig::square2d(34, 6, 4)
-            .with_topology(topology)
-            .with_check();
-        let base = Variant::CpuFree.run(&base_cfg);
-        let report = base.check.as_ref().expect("checker was enabled");
-        let name = format!("jacobi-{}-unjittered", topology.name());
+    let cases = cases_for(&TOPOLOGIES);
+    let results = sim_des::par_map(
+        sim_des::default_jobs(),
+        cases.clone(),
+        |(topology, seed)| {
+            let mut cfg = StencilConfig::square2d(34, 6, 4)
+                .with_topology(topology)
+                .with_check();
+            if let Some(s) = seed {
+                cfg = cfg.with_jitter(s);
+            }
+            Variant::CpuFree.run(&cfg)
+        },
+    );
+    for (&(topology, seed), out) in cases.iter().zip(&results) {
+        let report = out.check.as_ref().expect("checker was enabled");
+        let tag = match seed {
+            None => "unjittered".to_string(),
+            Some(s) => format!("seed{s}"),
+        };
+        let name = format!("jacobi-{}-{tag}", topology.name());
         let text = dump_if_dirty(&name, report);
         assert!(report.clean(), "{name}:\n{text}");
         assert!(report.accesses > 0, "checker saw no memory effects");
-        assert_eq!(base.max_err, Some(0.0));
-
-        for seed in SEEDS {
-            let cfg = base_cfg.clone().with_jitter(seed);
-            let out = Variant::CpuFree.run(&cfg);
-            let report = out.check.as_ref().expect("checker was enabled");
-            let name = format!("jacobi-{}-seed{seed}", topology.name());
-            let text = dump_if_dirty(&name, report);
-            assert!(report.clean(), "{name}:\n{text}");
-            assert_eq!(out.max_err, Some(0.0), "{name}: numerics diverged");
-            assert_eq!(
-                out.checksum, base.checksum,
-                "{name}: checksum differs from unjittered schedule"
-            );
-        }
+        assert_eq!(out.max_err, Some(0.0), "{name}: numerics diverged");
+        let base = &results[cases
+            .iter()
+            .position(|c| *c == (topology, None))
+            .expect("reference case")];
+        assert_eq!(
+            out.checksum, base.checksum,
+            "{name}: checksum differs from unjittered schedule"
+        );
     }
 }
 
@@ -69,37 +89,50 @@ fn checked_cg(prob: &PoissonProblem) -> CgResult {
 #[test]
 fn cg_perturbed_schedules_clean_and_bit_identical() {
     // 4 PEs exercises recursive doubling, 3 the ring allreduce.
-    for n_pes in [4usize, 3] {
-        for topology in TOPOLOGIES {
-            let base_prob = PoissonProblem::new(18, 20, 6, n_pes)
+    let cells: Vec<(usize, TopologyKind)> = [4usize, 3]
+        .into_iter()
+        .flat_map(|n| TOPOLOGIES.into_iter().map(move |t| (n, t)))
+        .collect();
+    let cases = cases_for(&cells);
+    let results = sim_des::par_map(
+        sim_des::default_jobs(),
+        cases.clone(),
+        |((n_pes, topology), seed)| {
+            let mut prob = PoissonProblem::new(18, 20, 6, n_pes)
                 .with_topology(topology)
                 .with_check();
-            let base = checked_cg(&base_prob);
-            let report = base.check.as_ref().unwrap();
-            let name = format!("cg-{}pe-{}-unjittered", n_pes, topology.name());
-            let text = dump_if_dirty(&name, report);
-            assert!(report.clean(), "{name}:\n{text}");
-            assert!(report.accesses > 0, "checker saw no memory effects");
-            assert_eq!(base.verify(&base_prob), 0.0, "{name}: wrong answer");
-
-            for seed in SEEDS {
-                let prob = base_prob.clone().with_jitter(seed);
-                let out = checked_cg(&prob);
-                let report = out.check.as_ref().unwrap();
-                let name = format!("cg-{}pe-{}-seed{seed}", n_pes, topology.name());
-                let text = dump_if_dirty(&name, report);
-                assert!(report.clean(), "{name}:\n{text}");
-                assert_eq!(
-                    out.final_rho.to_bits(),
-                    base.final_rho.to_bits(),
-                    "{name}: final rho diverged"
-                );
-                assert_eq!(
-                    out.x_owned, base.x_owned,
-                    "{name}: solution diverged from unjittered schedule"
-                );
+            if let Some(s) = seed {
+                prob = prob.with_jitter(s);
             }
-        }
+            let out = checked_cg(&prob);
+            let verify = out.verify(&prob);
+            (out, verify)
+        },
+    );
+    for (&((n_pes, topology), seed), (out, verify)) in cases.iter().zip(&results) {
+        let report = out.check.as_ref().unwrap();
+        let tag = match seed {
+            None => "unjittered".to_string(),
+            Some(s) => format!("seed{s}"),
+        };
+        let name = format!("cg-{}pe-{}-{tag}", n_pes, topology.name());
+        let text = dump_if_dirty(&name, report);
+        assert!(report.clean(), "{name}:\n{text}");
+        assert!(report.accesses > 0, "checker saw no memory effects");
+        assert_eq!(*verify, 0.0, "{name}: wrong answer");
+        let (base, _) = &results[cases
+            .iter()
+            .position(|c| *c == ((n_pes, topology), None))
+            .expect("reference case")];
+        assert_eq!(
+            out.final_rho.to_bits(),
+            base.final_rho.to_bits(),
+            "{name}: final rho diverged"
+        );
+        assert_eq!(
+            out.x_owned, base.x_owned,
+            "{name}: solution diverged from unjittered schedule"
+        );
     }
 }
 
@@ -110,9 +143,11 @@ fn cg_perturbed_schedules_clean_and_bit_identical() {
 fn cg_baseline_jitter_invariant() {
     let base_prob = PoissonProblem::new(16, 18, 4, 4);
     let base = cpufree_solvers::run_baseline(&base_prob, ExecMode::Full);
-    for seed in SEEDS {
-        let out =
-            cpufree_solvers::run_baseline(&base_prob.clone().with_jitter(seed), ExecMode::Full);
+    let outs = sim_des::par_map(sim_des::default_jobs(), SEEDS.to_vec(), |seed| {
+        let prob = base_prob.clone().with_jitter(seed);
+        cpufree_solvers::run_baseline(&prob, ExecMode::Full)
+    });
+    for (seed, out) in SEEDS.iter().zip(&outs) {
         assert_eq!(out.final_rho.to_bits(), base.final_rho.to_bits());
         assert_eq!(out.x_owned, base.x_owned, "seed {seed} diverged");
     }

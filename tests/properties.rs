@@ -130,7 +130,7 @@ fn trace_overlap_bounds() {
             let cat = g.range_u64(0, 2);
             t.push(TraceSpan {
                 agent: cpufree::sim_des::AgentId(0),
-                agent_name: "p".into(),
+                agent_name: t.intern("p"),
                 start: SimTime(start),
                 end: SimTime(start + len),
                 category: if cat == 0 {
@@ -138,7 +138,7 @@ fn trace_overlap_bounds() {
                 } else {
                     Category::Compute
                 },
-                label: String::new(),
+                label: cpufree::sim_des::Sym::EMPTY,
             });
         }
         let comm = t.busy(Category::Comm);
@@ -342,7 +342,7 @@ fn overlap_ratio_invariant_under_span_reordering() {
             let len = g.range_u64(1, 500);
             spans.push(TraceSpan {
                 agent: cpufree::sim_des::AgentId(0),
-                agent_name: "p".into(),
+                agent_name: cpufree::sim_des::Sym::EMPTY,
                 start: SimTime(start),
                 end: SimTime(start + len),
                 category: if g.range_u64(0, 2) == 0 {
@@ -350,13 +350,13 @@ fn overlap_ratio_invariant_under_span_reordering() {
                 } else {
                     Category::Compute
                 },
-                label: String::new(),
+                label: cpufree::sim_des::Sym::EMPTY,
             });
         }
         let measure = |order: &[usize]| {
             let mut t = Trace::new();
             for &i in order {
-                t.push(spans[i].clone());
+                t.push(spans[i]);
             }
             (
                 t.overlap(Category::Comm, Category::Compute),
