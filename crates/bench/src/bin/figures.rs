@@ -559,14 +559,21 @@ fn des_core_deterministic_json(rows: &[DesCoreRow]) -> String {
     format!("  \"deterministic\": [\n{}\n  ]", items.join(",\n"))
 }
 
-/// `figures des_core [--check]`: run the DES-core micro-benchmarks. Without
-/// `--check`, writes `BENCH_des_core.json` (deterministic block + measured
-/// events/sec snapshot). With `--check`, regenerates the deterministic
-/// block and requires the committed file to contain it byte for byte —
-/// the wall-clock half is never diffed.
-fn des_core(check: bool) -> i32 {
+/// `figures des_core [--check] [--shards N]`: run the DES-core
+/// micro-benchmarks, including the serial-vs-sharded 64-agent ring
+/// allreduce at `N` intra-run shards. Without `--check`, writes
+/// `BENCH_des_core.json` (deterministic block + measured events/sec
+/// snapshot). With `--check`, regenerates the deterministic block and
+/// requires the committed file to contain it byte for byte — the
+/// wall-clock half is never diffed. The deterministic block is identical
+/// at every `--shards` (asserted inside [`des_core_rows_with`]), so the
+/// gate holds no matter which shard count CI picks.
+fn des_core(check: bool, shards: usize) -> i32 {
+    // Shard count on stderr: the deterministic stdout table must not vary
+    // with `--shards` in its gated columns.
+    eprintln!("[des_core sharded workloads on {shards} shards]");
     println!("== DES core — engine hot-path throughput ==");
-    let rows = des_core_rows();
+    let rows = des_core_rows_with(shards);
     println!(
         "{:<28} {:>14} {:>10} {:>12} {:>14}",
         "workload", "virtual end", "events", "wall", "events/sec"
@@ -655,6 +662,13 @@ fn main() {
         args.remove(i);
         JSON.store(true, Ordering::Relaxed);
     }
+    // Validate the SIM_DES_JOBS override before anything calls
+    // `default_jobs()` (which would panic): garbage exits 2 like any other
+    // malformed worker-count input.
+    if let Err(e) = sim_des::env_jobs() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let jobs = parse_flag(&mut args, "jobs", sim_des::default_jobs() as u64, true) as usize;
     // `verify`, `chaos`, `chaos-replay`, and `des_core --check` are gates,
     // not figures: run them alone and propagate their exit status.
@@ -679,7 +693,8 @@ fn main() {
     }
     if args.iter().any(|a| a == "des_core") {
         let check = args.iter().any(|a| a == "--check");
-        std::process::exit(des_core(check));
+        let shards = parse_flag(&mut args, "shards", 4, true) as usize;
+        std::process::exit(des_core(check, shards));
     }
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a == name);

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod sharded;
 
 use dace_sim::lower::{run_discrete, run_persistent};
 use dace_sim::programs::{Jacobi1dSetup, Jacobi2dSetup};
@@ -986,11 +987,24 @@ impl DesCoreRow {
     }
 }
 
+/// [`des_core_rows_with`] at the default intra-run shard count (4).
+pub fn des_core_rows() -> Vec<DesCoreRow> {
+    des_core_rows_with(4)
+}
+
 /// The DES hot-path workloads behind the committed events/sec trajectory:
 /// a two-agent signal ping-pong (pure handoff cost), a trace-heavy busy
-/// loop (the interned-label span path), an 8-agent barrier storm, and a
-/// batch of whole simulations on the [`sim_des::par_map`] pool.
-pub fn des_core_rows() -> Vec<DesCoreRow> {
+/// loop (the interned-label span path), an 8-agent barrier storm, a batch
+/// of whole simulations on the [`sim_des::par_map`] pool, and a 64-agent
+/// topology-partitioned ring allreduce run both serially and on a
+/// [`sim_des::ShardedEngine`] with `shards` partitions.
+///
+/// The two ring rows are asserted bit-identical in `end_ns`/`events` at
+/// every shard count before returning (the `@sharded` row's deterministic
+/// block entry is therefore independent of `shards` — only its measured
+/// wall clock varies), so the committed deterministic block diffs clean no
+/// matter which `--shards` CI runs with.
+pub fn des_core_rows_with(shards: usize) -> Vec<DesCoreRow> {
     use sim_des::{ns, Category, Cmp, Engine, SignalOp};
     use std::time::Instant;
 
@@ -1006,7 +1020,7 @@ pub fn des_core_rows() -> Vec<DesCoreRow> {
         }
     }
 
-    vec![
+    let rows = vec![
         timed("pingpong_2x2000", || {
             let engine = Engine::new();
             engine.set_trace_enabled(false);
@@ -1080,7 +1094,28 @@ pub fn des_core_rows() -> Vec<DesCoreRow> {
             let events = runs.iter().map(|(_, n)| *n).sum();
             (end, events)
         }),
-    ]
+        timed("ring_allreduce_64x63@serial", || {
+            let run = sharded::ring_allreduce_plain(gpu_sim::TopologyKind::NvlinkRing, 64, 1);
+            (run.end_ns, run.events)
+        }),
+        timed("ring_allreduce_64x63@sharded", move || {
+            let (run, _) =
+                sharded::ring_allreduce(gpu_sim::TopologyKind::NvlinkRing, 64, 1, shards);
+            (run.end_ns, run.events)
+        }),
+    ];
+    // The sharded ring must be indistinguishable from the serial oracle in
+    // every deterministic quantity — the whole point of the conservative
+    // engine. Checked here so `figures -- des_core` can never publish a
+    // diverged pair.
+    let serial = &rows[rows.len() - 2];
+    let sharded_row = &rows[rows.len() - 1];
+    assert_eq!(
+        (serial.end_ns, serial.events),
+        (sharded_row.end_ns, sharded_row.events),
+        "sharded ring diverged from serial at shards={shards}"
+    );
+    rows
 }
 
 /// Minimal wall-clock micro-bench harness (std-only; the workspace builds

@@ -17,12 +17,41 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads to use when the caller does not say: the host's
+/// Number of worker threads to use when the caller does not say: the
+/// `SIM_DES_JOBS` environment override when set, otherwise the host's
 /// available parallelism, or 1 when that cannot be determined.
+///
+/// Panics on a malformed `SIM_DES_JOBS` (non-numeric or zero) — library
+/// callers get a loud failure; CLIs that want exit code 2 instead should
+/// validate with [`env_jobs`] first.
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    match env_jobs() {
+        Ok(Some(jobs)) => jobs,
+        Ok(None) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+/// Strictly parse the `SIM_DES_JOBS` environment override.
+///
+/// Returns `Ok(None)` when unset, `Ok(Some(n))` for a positive integer, and
+/// `Err(description)` for anything else (empty, non-numeric, zero). CLIs
+/// call this up front so garbage exits with status 2 instead of panicking
+/// deep inside a sweep.
+pub fn env_jobs() -> Result<Option<usize>, String> {
+    let Some(raw) = std::env::var_os("SIM_DES_JOBS") else {
+        return Ok(None);
+    };
+    let raw = raw.to_string_lossy();
+    match raw.parse::<usize>() {
+        Ok(0) => Err("SIM_DES_JOBS must be a positive integer, got 0".to_string()),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "SIM_DES_JOBS must be a positive integer, got {raw:?}"
+        )),
+    }
 }
 
 /// Map `f` over `items` on `jobs` worker threads, returning results **in
@@ -132,6 +161,35 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    /// One test owns every SIM_DES_JOBS scenario: tests run concurrently
+    /// and the environment is process-global, so splitting these into
+    /// separate `#[test]`s would race.
+    #[test]
+    fn sim_des_jobs_env_override() {
+        // Restore the (unset) state on every exit path.
+        struct Unset;
+        impl Drop for Unset {
+            fn drop(&mut self) {
+                std::env::remove_var("SIM_DES_JOBS");
+            }
+        }
+        let _guard = Unset;
+
+        std::env::remove_var("SIM_DES_JOBS");
+        assert_eq!(env_jobs(), Ok(None));
+
+        std::env::set_var("SIM_DES_JOBS", "3");
+        assert_eq!(env_jobs(), Ok(Some(3)));
+        assert_eq!(default_jobs(), 3);
+
+        std::env::set_var("SIM_DES_JOBS", "0");
+        assert!(env_jobs().unwrap_err().contains("got 0"));
+
+        std::env::set_var("SIM_DES_JOBS", "many");
+        assert!(env_jobs().unwrap_err().contains("\"many\""));
+        assert!(std::panic::catch_unwind(default_jobs).is_err());
     }
 
     #[test]

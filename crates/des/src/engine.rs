@@ -140,6 +140,24 @@ pub struct BlockedInfo {
     pub waiting_for: Option<String>,
 }
 
+/// Outcome of a bounded [`Engine::run_until`] window.
+///
+/// Bounded runs never report deadlock: an empty queue with live agents is
+/// indistinguishable from "waiting for a message an external coordinator
+/// has not injected yet". The coordinator (see [`crate::shard`]) owns that
+/// judgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every agent finished and no event remains: the simulation is over.
+    Done,
+    /// No event strictly earlier than the limit remains.
+    Idle {
+        /// Earliest pending event at or past the limit; `None` when the
+        /// queue is empty (any live agents are parked on flags/barriers).
+        next: Option<SimTime>,
+    },
+}
+
 /// How an agent's closure ended.
 pub(crate) enum FinishKind {
     /// Returned normally.
@@ -208,7 +226,7 @@ enum Action {
 /// on every blocking wait — the description is rendered only when a
 /// deadlock/timeout/watchdog actually looks.
 #[derive(Clone, Copy)]
-enum BlockedOn {
+pub(crate) enum BlockedOn {
     Flag { flag: Flag, cmp: Cmp, value: u64 },
     Barrier(Barrier),
 }
@@ -351,6 +369,36 @@ impl Central {
             .expect("queued slab slot is empty");
         self.free.push(key.slot);
         Some((key.time, action))
+    }
+
+    /// Time of the earliest pending event, if any.
+    fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|k| k.time)
+    }
+
+    /// `name: blocked-on` diagnostics for every live agent — the payload of
+    /// a deadlock report. Shared between the unbounded drive loop and the
+    /// sharded coordinator's global-deadlock aggregation.
+    pub(crate) fn blocked_strings(&self) -> Vec<String> {
+        self.agents
+            .iter()
+            .filter(|a| a.alive)
+            .map(|a| match a.wait_target {
+                Some(w) => format!("{}: {}", self.pool.resolve(a.name), w),
+                None => format!("{}: (unknown wait)", self.pool.resolve(a.name)),
+            })
+            .collect()
+    }
+
+    /// Structured form of [`Central::blocked_strings`]: agent name plus the
+    /// raw wait target, so the sharded coordinator can render flag/barrier
+    /// ids in a partition-independent (global) numbering.
+    pub(crate) fn blocked_details(&self) -> Vec<(String, Option<BlockedOn>)> {
+        self.agents
+            .iter()
+            .filter(|a| a.alive)
+            .map(|a| (self.pool.resolve(a.name).to_string(), a.wait_target))
+            .collect()
     }
 
     /// Schedule a future signal application (e.g. a DMA completion).
@@ -732,37 +780,93 @@ impl Engine {
     /// On error the engine is shut down: all parked agent threads are
     /// unwound and joined, so the process does not leak threads.
     pub fn run(&self) -> Result<SimTime, SimError> {
-        let result = self.drive();
-        if result.is_err() {
-            self.shutdown();
+        match self.drive(None) {
+            Ok(_) => Ok(self.now()),
+            Err(e) => {
+                self.shutdown();
+                Err(e)
+            }
         }
-        result
     }
 
-    fn drive(&self) -> Result<SimTime, SimError> {
+    /// Process events strictly earlier than `limit`, then stop.
+    ///
+    /// This is the shard-side half of conservative parallel execution: a
+    /// coordinator that can prove no cross-engine message will arrive
+    /// before `limit` (the safe horizon) may run each engine's window
+    /// concurrently, then exchange messages via
+    /// [`Engine::inject_signal_at`] and advance the horizon.
+    ///
+    /// Unlike [`Engine::run`], an empty queue with live agents is *not* a
+    /// deadlock here — the agents may be waiting on a message the
+    /// coordinator has not injected yet — so the engine reports
+    /// [`RunStatus::Idle`] and leaves deadlock judgement to the caller.
+    /// Errors (panics, aborts, timeouts) surface exactly as in `run`, but
+    /// the engine is not shut down; the caller owns teardown across all
+    /// its engines (dropping the engine still joins every agent thread).
+    pub fn run_until(&self, limit: SimTime) -> Result<RunStatus, SimError> {
+        self.drive(Some(limit))
+    }
+
+    /// Schedule a signal application at absolute virtual time `at` from
+    /// *outside* the engine — the delivery half of a cross-engine message.
+    ///
+    /// Panics if `at` is earlier than the engine clock: a conservative
+    /// coordinator must never deliver into a shard's past (the lookahead
+    /// contract guarantees `at >= horizon >= clock`).
+    pub fn inject_signal_at(&self, at: SimTime, flag: Flag, op: SignalOp, value: u64) {
+        let mut g = self.shared.central.lock();
+        assert!(
+            at >= g.clock,
+            "message injected at {at} is before the engine clock {} — lookahead violated",
+            g.clock
+        );
+        g.push_signal(at, flag, op, value, None);
+    }
+
+    /// Time of the earliest pending event, if any (for external
+    /// coordinators computing safe horizons).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.shared.central.lock().peek_time()
+    }
+
+    /// Number of agents that have not finished yet.
+    pub fn live_agents(&self) -> usize {
+        self.shared.central.lock().live_agents
+    }
+
+    /// Structured blocked-agent info (name, wait target) for the sharded
+    /// coordinator's canonical deadlock rendering.
+    pub(crate) fn blocked_details(&self) -> Vec<(String, Option<BlockedOn>)> {
+        self.shared.central.lock().blocked_details()
+    }
+
+    fn drive(&self, limit: Option<SimTime>) -> Result<RunStatus, SimError> {
         let mut g = self.shared.central.lock();
         loop {
-            let Some((time, action)) = g.pop_event() else {
-                if g.live_agents == 0 {
-                    return Ok(g.clock);
+            let next = g.peek_time();
+            let runnable = match (next, limit) {
+                (Some(t), Some(l)) => t < l,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if !runnable {
+                if next.is_none() && g.live_agents == 0 {
+                    return Ok(RunStatus::Done);
+                }
+                if limit.is_some() {
+                    return Ok(RunStatus::Idle { next });
                 }
                 let time = g.clock;
-                let blocked = g
-                    .agents
-                    .iter()
-                    .filter(|a| a.alive)
-                    .map(|a| match a.wait_target {
-                        Some(w) => format!("{}: {}", g.pool.resolve(a.name), w),
-                        None => format!("{}: (unknown wait)", g.pool.resolve(a.name)),
-                    })
-                    .collect();
+                let blocked = g.blocked_strings();
                 let cycle = g.wait_cycle();
                 return Err(SimError::Deadlock {
                     time,
                     blocked,
                     cycle,
                 });
-            };
+            }
+            let (time, action) = g.pop_event().expect("peeked event vanished");
             if let Action::TimeoutFire { agent, epoch } = action {
                 let live = {
                     let slot = &g.agents[agent.0];
@@ -912,7 +1016,7 @@ impl Engine {
     }
 
     /// Unwind and join every still-parked agent thread.
-    fn shutdown(&self) {
+    pub(crate) fn shutdown(&self) {
         let mut g = self.shared.central.lock();
         g.shutdown = true;
         let cvs: Vec<Arc<Condvar>> = g
