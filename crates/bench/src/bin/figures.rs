@@ -631,6 +631,87 @@ fn des_core(check: bool, shards: usize) -> i32 {
     }
 }
 
+/// `BENCH_traffic.json` body — the AI traffic-pattern sweep over the
+/// cluster fabrics. Every field is virtual-time-derived, so the whole
+/// file is deterministic and CI diffs it byte for byte.
+fn traffic_json(rows: &[cpufree_bench::traffic::TrafficRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"fabric\":\"{}\",\"gpus\":{},\"pattern\":\"{}\",\"makespan_ns\":{},\
+                 \"busiest_link\":\"{}\",\"busiest_busy_ns\":{},\"utilization\":{:.4},\
+                 \"reservations\":{},\"queued_ns\":{}}}",
+                r.fabric,
+                r.gpus,
+                r.pattern,
+                r.makespan.as_nanos(),
+                r.busiest_link,
+                r.busiest_busy.as_nanos(),
+                r.utilization,
+                r.reservations,
+                r.queued.as_nanos()
+            )
+        })
+        .collect();
+    format!("{{\n  \"traffic\": [\n{}\n  ]\n}}\n", items.join(",\n"))
+}
+
+/// `figures traffic [--check]`: sweep one data-parallel, tensor-parallel,
+/// and pipeline-parallel training step over the 64-GPU fat-tree, 72-GPU
+/// dragonfly, and 64-GPU rail-optimized fabrics at full capacity.
+/// Without `--check`, writes `BENCH_traffic.json`. With `--check`,
+/// regenerates the sweep and requires the committed file to match byte
+/// for byte — the sweep is pure virtual time, so the whole file is
+/// deterministic (unlike `BENCH_des_core.json`, which carries a
+/// wall-clock snapshot half).
+fn traffic(check: bool, jobs: usize) -> i32 {
+    eprintln!("[traffic sweep on {jobs} workers]");
+    println!("== AI traffic patterns — cluster fabrics at capacity ==");
+    let rows = cpufree_bench::traffic::traffic_rows_jobs(jobs);
+    println!(
+        "{:<24} {:>5} {:<18} {:>13} {:<18} {:>8} {:>8}",
+        "fabric", "gpus", "pattern", "makespan", "busiest link", "util", "xfers"
+    );
+    for r in &rows {
+        println!(
+            "{:<24} {:>5} {:<18} {:>11.1}us {:<18} {:>8.3} {:>8}",
+            r.fabric,
+            r.gpus,
+            r.pattern,
+            r.makespan.as_micros_f64(),
+            r.busiest_link,
+            r.utilization,
+            r.reservations
+        );
+    }
+    let body = traffic_json(&rows);
+    let path = "BENCH_traffic.json";
+    if check {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("reading {path}: {e}");
+                return 1;
+            }
+        };
+        if committed == body {
+            println!("[{path} is current]");
+            0
+        } else {
+            eprintln!(
+                "{path} is stale: the committed sweep differs from the regenerated one.\n\
+                 Regenerate with `cargo run -p cpufree-bench --release --bin figures -- traffic`."
+            );
+            1
+        }
+    } else {
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("[wrote {path}]");
+        0
+    }
+}
+
 /// Parse the value of `--<name> N` out of `args`, removing both tokens.
 /// A missing flag yields `default`; a present flag with a missing,
 /// non-numeric, or (when `reject_zero`) zero value exits 2 — degenerate
@@ -695,6 +776,10 @@ fn main() {
         let check = args.iter().any(|a| a == "--check");
         let shards = parse_flag(&mut args, "shards", 4, true) as usize;
         std::process::exit(des_core(check, shards));
+    }
+    if args.iter().any(|a| a == "traffic") {
+        let check = args.iter().any(|a| a == "--check");
+        std::process::exit(traffic(check, jobs));
     }
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a == name);

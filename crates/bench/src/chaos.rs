@@ -27,7 +27,7 @@ use sim_des::chaos::{
 use sim_des::{us, CrashFault, DropFault, FaultPlan, LinkFault, SimTime, StragglerFault};
 use stencil_lab::{DegradedConfig, FtConfig, StencilConfig};
 
-use gpu_sim::{ExecMode, TopologyKind};
+use gpu_sim::{CostModel, ExecMode, Topology, TopologyKind};
 use sim_des::SimDur;
 
 /// Nodes (PEs / GPUs) in every chaos schedule.
@@ -74,8 +74,32 @@ impl ChaosWorkload {
 }
 
 /// Inverse of [`TopologyKind::name`] (reproducer files store the name).
+/// Resolves every preset plus the tiny [`fabric_chaos_kinds`] instances
+/// the fabric-kill fixtures run on.
 pub fn topology_from_name(name: &str) -> Option<TopologyKind> {
-    TopologyKind::ALL.into_iter().find(|k| k.name() == name)
+    TopologyKind::presets()
+        .into_iter()
+        .chain(fabric_chaos_kinds())
+        .find(|k| k.name() == name)
+}
+
+/// Cluster-fabric instances scaled down to [`CHAOS_NODES`] devices: the
+/// same fat-tree / dragonfly link machinery as the full presets (switch
+/// uplinks, gateway routers, global links) at a size the chaos runners
+/// can sweep. Not presets — they exist for the fabric degraded cases.
+pub fn fabric_chaos_kinds() -> Vec<TopologyKind> {
+    vec![
+        // Two leaves x two GPUs, two spines: the smallest Clos with a
+        // distinct up/down link per (leaf, spine) pair.
+        TopologyKind::FatTree { gpus: 4, radix: 4 },
+        // Four single-router single-GPU groups: every cross-GPU route
+        // crosses exactly one global link.
+        TopologyKind::Dragonfly {
+            groups: 4,
+            routers_per_group: 1,
+            gpus_per_router: 1,
+        },
+    ]
 }
 
 /// The Jacobi problem every chaos schedule runs (tiny, `Full` mode, checker
@@ -537,6 +561,41 @@ pub fn degraded_plans() -> Vec<(&'static str, FaultPlan)> {
     ]
 }
 
+/// The fabric-level degraded cases: kill one *named* physical link of a
+/// cluster fabric — a fat-tree switch uplink, a dragonfly global link —
+/// and demand the degraded runners complete bit-identically over healed
+/// relay routes. [`Topology::pairs_crossing`] translates the link name
+/// into the pair kill set the fault machinery understands, so these
+/// cases stay correct if fabric routing ever changes.
+pub fn fabric_degraded_cases() -> Vec<(&'static str, TopologyKind, FaultPlan)> {
+    let cost = CostModel::a100_hgx();
+    let kinds = fabric_chaos_kinds();
+    let named = [
+        // Leaf 0's uplink to spine 1: severs the ECMP-hashed pairs
+        // {0,3} and {1,2} — the cross-leaf pairs ring traffic actually
+        // rides — and healed relays bounce through the other spine.
+        (kinds[0], "degraded-switchkill", "ft.l0>s1"),
+        // The only global link between groups 0 and 1: severs pair
+        // {0,1}; healed relays route through a third group.
+        (kinds[1], "degraded-globalkill", "df.gl0-1"),
+    ];
+    named
+        .into_iter()
+        .map(|(kind, label, link)| {
+            let topo = Topology::build(kind, CHAOS_NODES, &cost);
+            let mut plan = FaultPlan::new();
+            for (a, b) in topo.pairs_crossing(link) {
+                plan = plan.with_link(LinkFault::kill(a, b, SimTime::ZERO + us(10.0)));
+            }
+            assert!(
+                !plan.links.is_empty(),
+                "fabric case {label}: link {link} carries no pairs"
+            );
+            (label, kind, plan)
+        })
+        .collect()
+}
+
 /// One enumerated-but-not-yet-run schedule of the sweep. Specs are built
 /// serially in deterministic case order; only the (pure, independent)
 /// simulations fan out across workers.
@@ -555,7 +614,11 @@ struct CaseSpec {
 pub fn baselines_jobs(jobs: usize) -> Vec<((ChaosWorkload, TopologyKind), Baseline)> {
     let cells: Vec<(ChaosWorkload, TopologyKind)> = ChaosWorkload::ALL
         .into_iter()
-        .flat_map(|w| TopologyKind::ALL.into_iter().map(move |t| (w, t)))
+        .flat_map(|w| {
+            TopologyKind::node_presets()
+                .into_iter()
+                .map(move |t| (w, t))
+        })
         .collect();
     let bases = sim_des::par_map(jobs, cells.clone(), |(w, t)| baseline(w, t));
     cells.into_iter().zip(bases).collect()
@@ -578,7 +641,7 @@ pub fn chaos_sweep_cases_jobs(seeds: u64, jobs: usize) -> Vec<ChaosCase> {
     let bases = baselines_jobs(jobs);
     let mut specs = Vec::new();
     for workload in ChaosWorkload::ALL {
-        for topo in TopologyKind::ALL {
+        for topo in TopologyKind::node_presets() {
             let base = bases
                 .iter()
                 .find(|((w, t), _)| *w == workload && *t == topo)
@@ -602,6 +665,17 @@ pub fn chaos_sweep_cases_jobs(seeds: u64, jobs: usize) -> Vec<ChaosCase> {
                     base: None,
                 });
             }
+        }
+        // Cluster fabrics: dedicated named-link kill cases (the seeded
+        // budget stays on the node presets so the sweep size is unchanged).
+        for (label, kind, plan) in fabric_degraded_cases() {
+            specs.push(CaseSpec {
+                id: format!("{}_{}_{label}", workload.name(), kind.name()),
+                workload,
+                topology: kind,
+                plan,
+                base: None,
+            });
         }
     }
     sim_des::par_map(jobs, specs, |spec| {
@@ -727,6 +801,23 @@ pub fn reproducer_json(workload: ChaosWorkload, topo: TopologyKind, plan: &Fault
     )
 }
 
+/// Serialize a reproducer that replays through the **degraded-mode**
+/// runner (no checkpoint/restart): [`reproducer_json`] plus a
+/// `"mode": "degraded"` tag that [`replay`] dispatches on.
+pub fn degraded_reproducer_json(
+    workload: ChaosWorkload,
+    topo: TopologyKind,
+    plan: &FaultPlan,
+) -> String {
+    let body = plan_to_json(plan);
+    format!(
+        "{{\n  \"workload\": \"{}\",\n  \"topology\": \"{}\",\n  \"mode\": \"degraded\",\n{}",
+        workload.name(),
+        topo.name(),
+        &body[2..]
+    )
+}
+
 /// Parse a reproducer file back into its schedule.
 pub fn reproducer_parse(s: &str) -> Result<(ChaosWorkload, TopologyKind, FaultPlan), String> {
     let w = string_field(s, "workload")?.ok_or("missing \"workload\"")?;
@@ -739,12 +830,70 @@ pub fn reproducer_parse(s: &str) -> Result<(ChaosWorkload, TopologyKind, FaultPl
 }
 
 /// Replay a reproducer document: re-run its schedule under the recovery
-/// oracles and return the (workload, topology, outcome) triple.
+/// oracles and return the (workload, topology, outcome) triple. Documents
+/// tagged `"mode": "degraded"` replay through the degraded-mode runner.
 pub fn replay(document: &str) -> Result<(ChaosWorkload, TopologyKind, ChaosOutcome), String> {
     let (workload, topo, plan) = reproducer_parse(document)?;
-    let base = baseline(workload, topo);
-    let outcome = run_schedule(workload, topo, &plan, &base);
+    let degraded = matches!(string_field(document, "mode")?.as_deref(), Some("degraded"));
+    let outcome = if degraded {
+        run_degraded_schedule(workload, topo, &plan)
+    } else {
+        let base = baseline(workload, topo);
+        run_schedule(workload, topo, &plan, &base)
+    };
     Ok((workload, topo, outcome))
+}
+
+/// Virtual completion time of a degraded run, `None` when it errors.
+/// The shrink signature of the fabric fixtures compares this against the
+/// fault-free time: label alone would let ddmin collapse a *recoverable*
+/// kill all the way to the empty plan (every subset also completes
+/// identically); demanding a perturbed virtual time keeps the kill that
+/// actually forces the healed route.
+fn degraded_total(workload: ChaosWorkload, topo: TopologyKind, plan: &FaultPlan) -> Option<SimDur> {
+    match workload {
+        ChaosWorkload::Jacobi => {
+            let base = StencilConfig::square2d(32, 8, CHAOS_NODES).with_topology(topo);
+            stencil_lab::run_cpu_free_degraded(&DegradedConfig::new(base, plan.clone()))
+                .ok()
+                .map(|ex| ex.total)
+        }
+        ChaosWorkload::Cg => {
+            let prob = PoissonProblem::new(18, 18, 8, CHAOS_NODES).with_topology(topo);
+            cpufree_solvers::run_cpu_free_degraded(&prob, plan, ExecMode::Full, None)
+                .ok()
+                .map(|ex| ex.total)
+        }
+    }
+}
+
+/// The committed fabric-kill reproducer fixtures
+/// (`crates/bench/fixtures/chaos/<label>.json`): each
+/// [`fabric_degraded_cases`] plan shrunk to a minimal fault set that
+/// still completes identically *with a perturbed virtual time* — proof
+/// the kill was live and the healed relay engaged — serialized as a
+/// degraded-mode reproducer document.
+pub fn fabric_fixture_docs() -> Vec<(&'static str, String)> {
+    let workload = ChaosWorkload::Jacobi;
+    fabric_degraded_cases()
+        .into_iter()
+        .map(|(label, kind, plan)| {
+            let clean = degraded_total(workload, kind, &FaultPlan::new());
+            let signature = |p: &FaultPlan| {
+                (
+                    run_degraded_schedule(workload, kind, p).label(),
+                    degraded_total(workload, kind, p) != clean,
+                )
+            };
+            let target = signature(&plan);
+            assert!(
+                target.1,
+                "fabric case {label}: kill did not perturb the degraded run"
+            );
+            let shrunk = shrink(&plan, &mut |candidate| signature(candidate) == target);
+            (label, degraded_reproducer_json(workload, kind, &shrunk))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -816,6 +965,52 @@ mod tests {
                 "{} kill case",
                 workload.name()
             );
+        }
+    }
+
+    #[test]
+    fn fabric_kills_heal_to_identical_completion() {
+        // Both workloads, both fabric cases: killing a named switch
+        // uplink / global link must reroute over healed relays and
+        // reproduce the fault-free result bit for bit (full quorum).
+        for workload in ChaosWorkload::ALL {
+            for (label, kind, plan) in fabric_degraded_cases() {
+                let out = run_degraded_schedule(workload, kind, &plan);
+                assert_eq!(
+                    out,
+                    ChaosOutcome::CompletedIdentical,
+                    "{}_{}_{label}",
+                    workload.name(),
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_kill_fixtures_are_current_and_replay() {
+        // The committed reproducers must match what this tree generates
+        // (set UPDATE_FIXTURES=1 to regenerate) and must replay through
+        // the degraded-mode dispatch to a healed identical completion.
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/chaos");
+        let docs = fabric_fixture_docs();
+        assert_eq!(docs.len(), fabric_degraded_cases().len());
+        for (label, json) in &docs {
+            let path = format!("{dir}/{label}.json");
+            if std::env::var_os("UPDATE_FIXTURES").is_some() {
+                std::fs::write(&path, json).expect("write fixture");
+            }
+            let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!("missing fixture {path} ({e}); rerun with UPDATE_FIXTURES=1")
+            });
+            assert_eq!(
+                &committed, json,
+                "stale fixture {path}; rerun with UPDATE_FIXTURES=1"
+            );
+            let (w, t, outcome) = replay(json).expect("fixture replays");
+            assert_eq!(w, ChaosWorkload::Jacobi, "{label}");
+            assert!(t.is_cluster(), "{label} should replay on a cluster fabric");
+            assert_eq!(outcome, ChaosOutcome::CompletedIdentical, "{label}");
         }
     }
 

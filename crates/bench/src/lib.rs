@@ -20,6 +20,7 @@
 
 pub mod chaos;
 pub mod sharded;
+pub mod traffic;
 
 use dace_sim::lower::{run_discrete, run_persistent};
 use dace_sim::programs::{Jacobi1dSetup, Jacobi2dSetup};
@@ -580,7 +581,7 @@ pub fn sensitivity_interconnect() -> Vec<Point> {
 #[derive(Debug, Clone)]
 pub struct TopoRow {
     /// Topology preset name.
-    pub topology: &'static str,
+    pub topology: String,
     /// Concurrent cross-partition pairs driving traffic.
     pub pairs: usize,
     /// Mean time per transfer on the busiest pair.
@@ -609,7 +610,7 @@ pub fn topo_contention_jobs(jobs: usize) -> Vec<TopoRow> {
     const BYTES: u64 = 64 << 20;
     const REPS: u64 = 4;
     let cost = CostModel::a100_hgx();
-    let cells: Vec<(TopologyKind, usize)> = TopologyKind::ALL
+    let cells: Vec<(TopologyKind, usize)> = TopologyKind::node_presets()
         .into_iter()
         .flat_map(|kind| [1usize, 2, 4].into_iter().map(move |pairs| (kind, pairs)))
         .collect();

@@ -10,9 +10,16 @@ use gpu_sim::TopologyKind;
 use sim_des::{us, Cmp, ShardedEngine, SignalOp};
 
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
-const TOPOLOGIES: [TopologyKind; 2] = [TopologyKind::NvlinkRing, TopologyKind::TwoNode];
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const AGENTS: usize = 16;
+
+/// Every topology preset, old and new — the cross-preset conformance
+/// sweep. 16 agents occupy two fat-tree leaves, two dragonfly groups and
+/// two rail-optimized nodes, so cross-shard lookahead genuinely crosses
+/// the cluster fabrics' switch and rail links.
+fn topologies() -> Vec<TopologyKind> {
+    TopologyKind::presets()
+}
 
 /// Render the differential report for one `(topology, seed)` case: the
 /// canonical line every engine configuration must reproduce byte for byte.
@@ -23,7 +30,7 @@ fn case_report(kind: TopologyKind, seed: u64, run: &RingRun) -> String {
 /// The full serial report over every case — the oracle string.
 fn serial_report() -> String {
     let mut out = String::new();
-    for kind in TOPOLOGIES {
+    for kind in topologies() {
         for seed in SEEDS {
             let run = ring_allreduce_plain(kind, AGENTS, seed);
             out.push_str(&case_report(kind, seed, &run));
@@ -35,7 +42,7 @@ fn serial_report() -> String {
 /// The same report produced by the sharded engine at a given shard count.
 fn sharded_report(shards: usize) -> String {
     let mut out = String::new();
-    for kind in TOPOLOGIES {
+    for kind in topologies() {
         for seed in SEEDS {
             let (run, _) = ring_allreduce(kind, AGENTS, seed, shards);
             out.push_str(&case_report(kind, seed, &run));
@@ -44,7 +51,7 @@ fn sharded_report(shards: usize) -> String {
     out
 }
 
-/// 8 seeds x 2 topologies: the sharded differential report is
+/// 8 seeds x every topology preset: the sharded differential report is
 /// byte-identical to the serial oracle at shard counts 1, 2, 4 and 8 —
 /// end times, events processed, and numeric checksums all included.
 #[test]
@@ -65,7 +72,7 @@ fn sharded_reports_are_byte_identical_to_serial() {
 /// comparisons between the engines are apples to apples).
 #[test]
 fn events_processed_matches_serial_exactly() {
-    for kind in TOPOLOGIES {
+    for kind in topologies() {
         for seed in SEEDS.iter().take(3) {
             let serial = ring_allreduce_plain(kind, AGENTS, *seed);
             for shards in SHARD_COUNTS {

@@ -225,7 +225,7 @@ fn shipped_jacobi1d_clean_on_all_topologies() {
     let mut sdfg = setup.sdfg.clone();
     to_cpu_free(&mut sdfg).unwrap();
     assert!(verify_sdfg(&sdfg, setup.n_pes, &user).clean());
-    for topology in TopologyKind::ALL {
+    for topology in TopologyKind::presets() {
         let run = run_persistent_checked(
             &sdfg,
             setup.n_pes,
@@ -257,7 +257,7 @@ fn shipped_jacobi2d_clean_on_all_topologies() {
     let mut sdfg = setup.sdfg.clone();
     to_cpu_free(&mut sdfg).unwrap();
     assert!(verify_sdfg(&sdfg, setup.n_pes, &user).clean());
-    for topology in TopologyKind::ALL {
+    for topology in TopologyKind::presets() {
         let run = run_persistent_checked(
             &sdfg,
             setup.n_pes,

@@ -222,7 +222,7 @@ mod tests {
 
     #[test]
     fn healing_works_on_every_preset() {
-        for kind in TopologyKind::ALL {
+        for kind in TopologyKind::presets() {
             let t = topo(kind, 8);
             let healed = HealedRoutes::compute(&t, &[(2, 5), (0, 7)]);
             for (s, d) in [(2, 5), (5, 2), (0, 7), (7, 0)] {

@@ -471,7 +471,7 @@ mod tests {
             at_iteration: 3,
         });
         let mut rhos = Vec::new();
-        for kind in TopologyKind::ALL {
+        for kind in TopologyKind::presets() {
             let p = prob(kind);
             let out = run_cpu_free_degraded(&p, &plan, ExecMode::Full, None).unwrap();
             assert_eq!(out.quorum, vec![0, 2, 3], "{}", kind.name());
@@ -485,7 +485,7 @@ mod tests {
 
     #[test]
     fn single_link_kill_is_bit_identical_to_fault_free() {
-        for kind in TopologyKind::ALL {
+        for kind in TopologyKind::presets() {
             let p = prob(kind);
             let clean = run_cpu_free_degraded(&p, &FaultPlan::new(), ExecMode::Full, None).unwrap();
             let plan =

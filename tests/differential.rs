@@ -21,7 +21,7 @@ const BASELINES: [Variant; 4] = [
 ];
 
 fn cells() -> Vec<(TopologyKind, Option<u64>)> {
-    TopologyKind::ALL
+    TopologyKind::presets()
         .into_iter()
         .flat_map(|t| SEEDS.into_iter().map(move |s| (t, s)))
         .collect()
