@@ -712,6 +712,150 @@ fn traffic(check: bool, jobs: usize) -> i32 {
     }
 }
 
+/// `BENCH_cost.json` body — the static-predictor-vs-DES sweep over the
+/// program corpus and every topology preset. Both sides are pure virtual
+/// time, so the whole file is deterministic and CI diffs it byte for byte.
+fn cost_json(rows: &[cpufree_bench::cost::CostRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"program\":\"{}\",\"stage\":\"{}\",\"gpus\":{},\"fabric\":\"{}\",\
+                 \"predicted_ns\":{},\"base_ns\":{},\"margin_ns\":{},\"simulated_ns\":{},\
+                 \"rel_err\":{:.6},\"contended\":{},\"extrapolated\":{}}}",
+                r.program,
+                r.stage,
+                r.gpus,
+                r.fabric,
+                r.predicted.as_nanos(),
+                r.base.as_nanos(),
+                r.margin.as_nanos(),
+                r.simulated.as_nanos(),
+                r.rel_err,
+                r.contended,
+                r.extrapolated
+            )
+        })
+        .collect();
+    format!("{{\n  \"cost\": [\n{}\n  ]\n}}\n", items.join(",\n"))
+}
+
+/// `figures cost [--check]`: predict every (corpus program × persistent
+/// stage × GPU count × topology preset) cell statically and validate it
+/// against the timing-only DES run — exact on uncontended fabrics, a
+/// never-underestimating ≤10% bound on contended ones. Without `--check`,
+/// writes `BENCH_cost.json`. With `--check`, regenerates the sweep and
+/// requires the committed ledger to match byte for byte. On any contract
+/// violation or stale ledger, the full sweep lands in
+/// `target/cost_report/report.txt` for the CI artifact and the exit code
+/// is nonzero.
+fn cost(check: bool, jobs: usize) -> i32 {
+    use std::fmt::Write as _;
+    eprintln!("[cost sweep on {jobs} workers]");
+    println!("== Static cost prediction vs DES — corpus x presets ==");
+    let sweep = cpufree_bench::cost::cost_sweep_jobs(jobs);
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "{:<9} {:<15} {:>5} {:<24} {:>13} {:>13} {:>8} {:<5}",
+        "program", "stage", "gpus", "fabric", "predicted", "simulated", "err%", "mode"
+    );
+    for r in &sweep.rows {
+        let _ = writeln!(
+            table,
+            "{:<9} {:<15} {:>5} {:<24} {:>11.2}us {:>11.2}us {:>7.2}% {:<5}",
+            r.program,
+            r.stage,
+            r.gpus,
+            r.fabric,
+            r.predicted.as_micros_f64(),
+            r.simulated.as_micros_f64(),
+            r.rel_err * 100.0,
+            match (r.contended, r.extrapolated) {
+                (true, true) => "C+S",
+                (true, false) => "C",
+                (false, true) => "S",
+                (false, false) => "-",
+            }
+        );
+    }
+    print!("{table}");
+    println!("(err% is prediction vs simulation; C = contended fabric, S = steady-state shortcut)");
+
+    let mut tops = String::new();
+    let _ = writeln!(
+        tops,
+        "\ntop-3 kernels per preset (jacobi2d/cpu_free @8gpus ledger):"
+    );
+    for (fabric, report) in &sweep.ledgers {
+        let _ = writeln!(tops, "  {fabric}:");
+        for k in report.top_kernels(3) {
+            let _ = writeln!(
+                tops,
+                "    {:<28} x{:<6} {:>11.2}us",
+                k.label,
+                k.count,
+                k.busy.as_micros_f64()
+            );
+        }
+    }
+    print!("{tops}");
+
+    let violations = sweep.violations();
+    let body = cost_json(&sweep.rows);
+    let write_report = |extra: &str| {
+        let dir = std::path::Path::new("target/cost_report");
+        std::fs::create_dir_all(dir).expect("create target/cost_report");
+        let path = dir.join("report.txt");
+        let mut full = table.clone();
+        full.push_str(&tops);
+        full.push_str(extra);
+        std::fs::write(&path, full).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("[wrote {}]", path.display());
+    };
+    if !violations.is_empty() {
+        let mut extra = String::from("\npredictor contract violations:\n");
+        for v in &violations {
+            let _ = writeln!(extra, "  {v}");
+        }
+        write_report(&extra);
+        eprintln!(
+            "cost sweep FAILED — {} contract violation(s)",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        return 1;
+    }
+    let path = "BENCH_cost.json";
+    if check {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("reading {path}: {e}");
+                write_report(&format!("\nreading {path}: {e}\n"));
+                return 1;
+            }
+        };
+        if committed == body {
+            println!("[{path} is current]");
+            0
+        } else {
+            write_report("\nstale BENCH_cost.json: regenerated ledger differs\n");
+            eprintln!(
+                "{path} is stale: the committed ledger differs from the regenerated one.\n\
+                 Regenerate with `cargo run -p cpufree-bench --release --bin figures -- cost`."
+            );
+            1
+        }
+    } else {
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("[wrote {path}]");
+        0
+    }
+}
+
 /// Parse the value of `--<name> N` out of `args`, removing both tokens.
 /// A missing flag yields `default`; a present flag with a missing,
 /// non-numeric, or (when `reject_zero`) zero value exits 2 — degenerate
@@ -780,6 +924,28 @@ fn main() {
     if args.iter().any(|a| a == "traffic") {
         let check = args.iter().any(|a| a == "--check");
         std::process::exit(traffic(check, jobs));
+    }
+    if args.iter().any(|a| a == "cost") {
+        // Strict parsing, like `--jobs`/`--seeds`: anything beyond
+        // `cost [--check]` is a mistake and must fail loudly (exit 2),
+        // not silently run a full default sweep.
+        let check = args.iter().any(|a| a == "--check");
+        let stray: Vec<&String> = args
+            .iter()
+            .filter(|a| *a != "cost" && *a != "--check")
+            .collect();
+        if !stray.is_empty() {
+            eprintln!(
+                "unrecognized argument(s) for cost: {}\nusage: figures cost [--check] [--jobs N]",
+                stray
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            std::process::exit(2);
+        }
+        std::process::exit(cost(check, jobs));
     }
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a == name);

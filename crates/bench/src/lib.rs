@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cost;
 pub mod sharded;
 pub mod traffic;
 

@@ -22,11 +22,16 @@
 //!   (signal ↔ wait balance, nbi source reuse, halo coverage, storage
 //!   classes, wait cycles) for *all* schedules before anything runs,
 //!   sharing diagnostic vocabulary with the dynamic happens-before checker
-//!   and gating both backends and the transform pipeline.
+//!   and gating both backends and the transform pipeline;
+//! * a **static cost predictor** ([`cost`]): closed-form virtual-time
+//!   prediction of the persistent backend on any topology preset — exact
+//!   on uncontended routes, conservatively bounded on shared links — with
+//!   a per-kernel/per-route cost ledger, no simulation required.
 
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cost;
 pub mod expr;
 pub mod ir;
 pub mod lower;
@@ -36,10 +41,12 @@ pub mod transform;
 pub mod verify;
 
 pub use analysis::{CommGraph, IntervalSet};
+pub use cost::{predict_cost, verify_and_predict, CostError, CostReport, KernelCost, RouteCost};
 pub use expr::{Bindings, Cond, CondOp, Expr};
 pub use ir::{Schedule, Sdfg, Storage};
 pub use lower::{
-    run_discrete, run_persistent, run_persistent_checked, CheckedRun, LowerError, Lowered,
+    run_discrete, run_persistent, run_persistent_checked, run_persistent_on, CheckedRun,
+    LowerError, Lowered,
 };
 pub use programs::{Jacobi1dSetup, Jacobi2dSetup};
 pub use transform::{

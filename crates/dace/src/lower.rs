@@ -257,7 +257,7 @@ fn build_instance_on(
 /// The static verification gate both backends run after their structural
 /// legality checks: malformed or mis-transformed programs fail here, at
 /// lowering time, instead of deadlocking (or silently racing) in gpu-sim.
-fn verify_gate(sdfg: &Sdfg, n_pes: usize, user: &Bindings) -> Result<(), LowerError> {
+pub(crate) fn verify_gate(sdfg: &Sdfg, n_pes: usize, user: &Bindings) -> Result<(), LowerError> {
     let report = verify_sdfg(sdfg, n_pes, user);
     if report.clean() {
         Ok(())
@@ -311,7 +311,9 @@ fn exec_map(inst: &Instance, m: &MapOp, pe: usize, b: &Bindings) {
 
 /// Roofline cost of a map execution; discrete kernels pay the cold-cache
 /// relaunch penalty (persistent kernels retain cache/shared-memory state).
-fn map_cost(cost: &CostModel, points: u64, discrete: bool) -> SimDur {
+/// Shared with the static cost predictor ([`crate::cost`]) so predicted
+/// and simulated map charges come from one formula.
+pub(crate) fn map_cost(cost: &CostModel, points: u64, discrete: bool) -> SimDur {
     let base = cost.sweep(points * 16, points * 5, 1.0);
     if discrete {
         base * cost.discrete_cache_penalty
@@ -561,7 +563,7 @@ fn exec_state_discrete(
 /// Structural legality of an SDFG for the persistent backend: all maps on
 /// the persistent schedule, no MPI nodes, symmetric put targets,
 /// contiguous `PutmemSignal` subsets.
-fn persistent_legality(sdfg: &Sdfg) -> Result<(), LowerError> {
+pub(crate) fn persistent_legality(sdfg: &Sdfg) -> Result<(), LowerError> {
     let mut err: Option<LowerError> = None;
     sdfg.visit_states(&mut |state| {
         for op in &state.ops {
@@ -630,6 +632,29 @@ pub fn run_persistent(
     persistent_legality(sdfg)?;
     verify_gate(sdfg, n_pes, user)?;
     let inst = build_instance(sdfg, n_pes, user, exec, init)?;
+    let end = launch_persistent(&inst, &sdfg.name)
+        .unwrap_or_else(|e| panic!("persistent lowering run failed: {e}"));
+    Ok(collect(&inst, end, iterations))
+}
+
+/// [`run_persistent`] on an explicit topology preset, without the dynamic
+/// checker — the configuration the static cost predictor
+/// ([`crate::cost::predict_cost`]) is validated against: identical timing
+/// to [`run_persistent`] (the checker adds no virtual time, but this
+/// avoids its bookkeeping), with the interconnect selectable.
+pub fn run_persistent_on(
+    sdfg: &Sdfg,
+    n_pes: usize,
+    user: &Bindings,
+    iterations: u64,
+    topology: TopologyKind,
+    exec: ExecMode,
+    init: &dyn Fn(usize, &str) -> Vec<f64>,
+) -> Result<Lowered, LowerError> {
+    persistent_legality(sdfg)?;
+    verify_gate(sdfg, n_pes, user)?;
+    let machine = Machine::with_topology(n_pes, CostModel::a100_hgx(), topology, exec);
+    let inst = build_instance_on(sdfg, n_pes, user, machine, init)?;
     let end = launch_persistent(&inst, &sdfg.name)
         .unwrap_or_else(|e| panic!("persistent lowering run failed: {e}"));
     Ok(collect(&inst, end, iterations))

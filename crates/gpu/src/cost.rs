@@ -152,9 +152,10 @@ impl CostModel {
 
     /// Duration of moving `bytes` at `gbps` effective bandwidth. Shared
     /// with the Transport layer so per-link wire time uses the exact same
-    /// rounding as the flat per-op formulas.
+    /// rounding as the flat per-op formulas; public so static analyses
+    /// (e.g. the dace cost predictor) can quote identical wire times.
     #[inline]
-    pub(crate) fn bw_time(bytes: u64, gbps: f64) -> SimDur {
+    pub fn bw_time(bytes: u64, gbps: f64) -> SimDur {
         // GB/s == bytes/ns.
         SimDur::from_nanos((bytes as f64 / gbps).ceil() as u64)
     }

@@ -48,7 +48,7 @@ pub use sim_des::{
     CrashFault, DiagKind, Diagnostic, DropFault, FaultPlan, FaultState, LinkFault, StragglerFault,
 };
 pub use stream::Stream;
-pub use topo::{Endpoint, Link, Topology, TopologyKind, Transport};
+pub use topo::{Endpoint, Link, LinkClocks, Topology, TopologyKind, Transport};
 
 #[cfg(test)]
 mod tests {

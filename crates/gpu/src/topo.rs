@@ -222,6 +222,12 @@ impl Link {
         self.gbps
     }
 
+    /// Forwarding latency paid when a message enters this link from a
+    /// previous hop (zero-cost on the first hop of a route).
+    pub fn hop_latency(&self) -> SimDur {
+        self.hop_latency
+    }
+
     /// Lifetime occupancy counters (reservations, busy time, queue delay).
     pub fn stats(&self) -> ResourceStats {
         self.res.stats()
@@ -834,6 +840,22 @@ impl Topology {
         &self.dev_routes[src][dst]
     }
 
+    /// Read-only view of the fault-free device route `src -> dst` as link
+    /// indices into [`Topology::links`] (empty when `src == dst`). Static
+    /// analyses use this to enumerate route sharing without reserving
+    /// anything on the real links.
+    pub fn route_links(&self, src: usize, dst: usize) -> &[usize] {
+        &self.dev_routes[src][dst]
+    }
+
+    /// A fresh occupancy mirror over this topology's links, with every
+    /// mirrored clock at `SimTime::ZERO` (see [`LinkClocks`]).
+    pub fn clocks(&self) -> LinkClocks {
+        LinkClocks {
+            busy: vec![SimTime::ZERO; self.links.len()],
+        }
+    }
+
     fn route(&self, src: Endpoint, dst: Endpoint) -> &[usize] {
         match (src, dst) {
             (Endpoint::Dev(s), Endpoint::Dev(d)) if s != d => &self.dev_routes[s.0][d.0],
@@ -842,6 +864,62 @@ impl Topology {
             }
             _ => &[],
         }
+    }
+}
+
+/// A side-effect-free mirror of per-link occupancy: one scalar
+/// `busy_until` clock per link, replicating the FCFS semantics of the real
+/// [`sim_des::Resource`]s without reserving anything on them.
+///
+/// [`Transport::charge`] *reserves* — calling it moves real link state and
+/// perturbs any concurrently simulated run. A `LinkClocks` instance lets a
+/// static analysis (the dace cost predictor) replay the exact cut-through
+/// charging arithmetic of [`Transport::charge_scaled`] — same wire
+/// rounding via [`CostModel::bw_time`], same head advancement, same
+/// queue-behind-earlier-traffic clamp — against private state.
+#[derive(Debug, Clone)]
+pub struct LinkClocks {
+    /// `busy[i]` mirrors link *i*'s `Resource` busy-until clock.
+    busy: Vec<SimTime>,
+}
+
+impl LinkClocks {
+    /// Quote the fault-free cut-through wire time of moving `bytes` from
+    /// device `src` to device `dst` starting at `now`, advancing the
+    /// mirrored clocks exactly as the real transport would advance the
+    /// link resources. Zero for `src == dst` (empty route).
+    pub fn charge_dev(
+        &mut self,
+        topo: &Topology,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        now: SimTime,
+        bw_scale: f64,
+    ) -> SimDur {
+        let mut head = now;
+        let mut finish = now;
+        for (i, &idx) in topo.route_links(src, dst).iter().enumerate() {
+            let link = &topo.links[idx];
+            if i > 0 {
+                head += link.hop_latency;
+            }
+            let wire = CostModel::bw_time(bytes, link.gbps * bw_scale);
+            // Resource::reserve: start at max(arrival, busy_until), occupy
+            // for the serialization time, push busy_until to the end.
+            let start = head.max(self.busy[idx]);
+            let end = start + wire;
+            self.busy[idx] = end;
+            head = start;
+            finish = end;
+        }
+        finish.since(now)
+    }
+
+    /// The mirrored busy-until clock of link `idx` (indices as in
+    /// [`Topology::links`]).
+    pub fn busy_until(&self, idx: usize) -> SimTime {
+        self.busy[idx]
     }
 }
 
